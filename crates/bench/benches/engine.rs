@@ -1,0 +1,40 @@
+//! Criterion benchmarks: end-to-end query execution, baseline vs Cheetah
+//! path, on a small Big Data sample. These are the timing source behind
+//! the shape of Figure 5: Cheetah's advantage is worker-compute removal.
+
+use cheetah_db::{Cluster, DbQuery};
+use cheetah_workloads::bigdata::BigDataConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let bd = BigDataConfig { uservisits_rows: 30_000, ..Default::default() };
+    let table = bd.uservisits();
+    let cluster = Cluster::default();
+    let queries = [
+        ("distinct", DbQuery::Distinct { col: BigDataConfig::UV_USER_AGENT }),
+        (
+            "groupby_max",
+            DbQuery::GroupByMax {
+                key_col: BigDataConfig::UV_USER_AGENT,
+                val_col: BigDataConfig::UV_AD_REVENUE,
+            },
+        ),
+        ("topn", DbQuery::TopN { order_col: BigDataConfig::UV_AD_REVENUE, n: 250 }),
+    ];
+
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for (name, q) in &queries {
+        g.bench_function(format!("baseline_{name}"), |b| {
+            b.iter(|| black_box(cluster.run_baseline(q, &table, None)))
+        });
+        g.bench_function(format!("cheetah_{name}"), |b| {
+            b.iter(|| black_box(cluster.run_cheetah(q, &table, None).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

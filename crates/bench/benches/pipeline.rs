@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks: the multi-query pipeline (§6 packing) and
+//! the reliability-protocol hot path.
+
+use cheetah_core::planner::PackedQueries;
+use cheetah_core::{
+    AggKind, BoolExpr, CmpOp, DistinctConfig, EvictionPolicy, FilterConfig, GroupByConfig,
+    Predicate, QuerySpec,
+};
+use cheetah_net::{SwitchFlow, WorkerFlow};
+use cheetah_switch::SwitchProfile;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn packed() -> PackedQueries {
+    let specs = vec![
+        QuerySpec::Filter(FilterConfig {
+            atoms: vec![cheetah_core::AtomSpec::Switch(Predicate {
+                col: 0,
+                op: CmpOp::Lt,
+                constant: 1 << 30,
+            })],
+            expr: BoolExpr::Atom(0),
+            external_mode: cheetah_core::ExternalMode::Tautology,
+        }),
+        QuerySpec::Distinct(DistinctConfig {
+            rows: 1024,
+            cols: 2,
+            policy: EvictionPolicy::Lru,
+            fingerprint: None,
+            seed: 1,
+        }),
+        QuerySpec::GroupBy(GroupByConfig {
+            rows: 1024,
+            cols: 4,
+            agg: AggKind::Max,
+            key_bits: 31,
+            seed: 2,
+        }),
+    ];
+    PackedQueries::pack(&specs, SwitchProfile::tofino2()).unwrap()
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("process_bound_flow", |b| {
+        let mut p = packed();
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(p.pipeline.process(1, &[x]).unwrap());
+        })
+    });
+
+    g.bench_function("process_all_select_bit", |b| {
+        // §6 semantics: every program sees the packet.
+        let mut p = packed();
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(p.pipeline.process_all(2, &[x, x >> 7]).unwrap());
+        })
+    });
+
+    g.bench_function("switch_flow_classify", |b| {
+        let mut f = SwitchFlow::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            black_box(f.classify(seq));
+        })
+    });
+
+    g.bench_function("worker_window_cycle", |b| {
+        b.iter(|| {
+            let mut w = WorkerFlow::new(0, 64, 32);
+            loop {
+                let s = w.sendable();
+                if s.is_empty() && w.all_acked() {
+                    break;
+                }
+                for seq in s {
+                    w.on_ack(seq);
+                }
+            }
+            black_box(w.all_acked())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

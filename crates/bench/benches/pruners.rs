@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks: per-entry throughput of each pruning
+//! algorithm (the simulator's analogue of the switch's packets-per-second
+//! budget — in hardware this cost is paid by the pipeline, not a CPU).
+
+use cheetah_core::{
+    DistinctConfig, DistinctPruner, EvictionPolicy, GroupByConfig, GroupByPruner,
+    SkylineConfig, SkylinePolicy, SkylinePruner, StandalonePruner, TopNDetConfig, TopNDetPruner,
+    TopNRandConfig, TopNRandPruner,
+};
+use cheetah_switch::{ResourceLedger, SwitchProfile};
+use cheetah_workloads::streams;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+fn ledger() -> ResourceLedger {
+    ResourceLedger::new(SwitchProfile::tofino2())
+}
+
+fn bench_pruners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pruners");
+    g.throughput(Throughput::Elements(N as u64));
+
+    let values = streams::duplicates_stream(N, 500, 1);
+    g.bench_function("distinct_lru_w2_d4096", |b| {
+        let mut p = StandalonePruner::new(
+            DistinctPruner::build(DistinctConfig::paper_default(), &mut ledger()).unwrap(),
+        );
+        b.iter(|| {
+            for &v in &values {
+                black_box(p.offer(&[v]).unwrap());
+            }
+        })
+    });
+
+    g.bench_function("distinct_fifo_w2_d4096", |b| {
+        let cfg = DistinctConfig {
+            policy: EvictionPolicy::Fifo,
+            ..DistinctConfig::paper_default()
+        };
+        let mut p = StandalonePruner::new(DistinctPruner::build(cfg, &mut ledger()).unwrap());
+        b.iter(|| {
+            for &v in &values {
+                black_box(p.offer(&[v]).unwrap());
+            }
+        })
+    });
+
+    let rand_vals = streams::random_values(N, 1 << 31, 2);
+    g.bench_function("topn_det_n250_w4", |b| {
+        let mut p = StandalonePruner::new(
+            TopNDetPruner::build(TopNDetConfig::paper_default(), &mut ledger()).unwrap(),
+        );
+        b.iter(|| {
+            for &v in &rand_vals {
+                black_box(p.offer(&[v]).unwrap());
+            }
+        })
+    });
+
+    g.bench_function("topn_rand_w4_d4096", |b| {
+        let mut p = StandalonePruner::new(
+            TopNRandPruner::build(TopNRandConfig::paper_default(), &mut ledger()).unwrap(),
+        );
+        b.iter(|| {
+            for &v in &rand_vals {
+                black_box(p.offer(&[v]).unwrap());
+            }
+        })
+    });
+
+    let kv = streams::keyed_values(N, 500, 1 << 20, 3);
+    g.bench_function("groupby_max_w8_d4096", |b| {
+        let mut p = StandalonePruner::new(
+            GroupByPruner::build(GroupByConfig::paper_default(), &mut ledger()).unwrap(),
+        );
+        b.iter(|| {
+            for pair in &kv {
+                black_box(p.offer(pair).unwrap());
+            }
+        })
+    });
+
+    let pts = streams::points_stream(N, 2, 1 << 16, 4);
+    g.bench_function("skyline_sum_w10", |b| {
+        let mut p = StandalonePruner::new(
+            SkylinePruner::build(
+                SkylineConfig::paper_default(SkylinePolicy::Sum),
+                &mut ledger(),
+            )
+            .unwrap(),
+        );
+        b.iter(|| {
+            for pt in &pts {
+                black_box(p.offer(pt).unwrap());
+            }
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pruners);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion microbenchmarks: wire-format emit/parse throughput (the
+//! CWorker's serialization cost — §8.2.1 attributes Cheetah's overhead on
+//! cheap queries exactly here).
+
+use cheetah_net::{DataPacket, Packet};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Elements(1));
+
+    let data = Packet::Data(DataPacket { fid: 3, seq: 123_456, values: vec![1, 2] });
+    g.bench_function("emit_data_2vals", |b| {
+        b.iter(|| black_box(data.emit()));
+    });
+
+    let bytes = data.emit();
+    g.bench_function("parse_data_2vals", |b| {
+        b.iter(|| black_box(Packet::parse(bytes.clone()).unwrap()));
+    });
+
+    let ack = Packet::Ack(cheetah_net::AckPacket {
+        fid: 3,
+        seq: 9,
+        source: cheetah_net::AckSource::SwitchPruned,
+    });
+    g.bench_function("emit_ack", |b| {
+        b.iter(|| black_box(ack.emit()));
+    });
+
+    let corrupted = {
+        let mut v = data.emit().to_vec();
+        v[5] ^= 0xFF;
+        bytes::Bytes::from(v)
+    };
+    g.bench_function("reject_corrupted", |b| {
+        b.iter(|| black_box(Packet::parse(corrupted.clone()).unwrap_err()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! CLI driver regenerating every table and figure of the paper.
+//!
+//! ```text
+//! cheetah-experiments [EXPERIMENT ...] [--full] [--csv DIR]
+//!
+//!   EXPERIMENT  one of: table2 table3 fig5 fig6 fig7 fig8 fig9 fig10
+//!               fig11 fig12_13 (default: all)
+//!   --full      paper-scale streams (minutes) instead of quick (seconds)
+//!   --csv DIR   additionally write one CSV per report into DIR
+//! ```
+
+use cheetah_bench::experiments;
+use cheetah_bench::Scale;
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut csv_dir: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => scale = Scale::Full,
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: cheetah-experiments [EXPERIMENT ...] [--full] [--csv DIR]");
+                println!("experiments:");
+                for (id, _) in experiments::all() {
+                    println!("  {id}");
+                }
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let registry = experiments::all();
+    let selected: Vec<_> = if wanted.is_empty() {
+        registry
+    } else {
+        let known: Vec<&str> = registry.iter().map(|(id, _)| *id).collect();
+        for w in &wanted {
+            if !known.contains(&w.as_str()) {
+                eprintln!("unknown experiment `{w}`; known: {known:?}");
+                std::process::exit(2);
+            }
+        }
+        registry.into_iter().filter(|(id, _)| wanted.iter().any(|w| w == id)).collect()
+    };
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    for (id, runner) in selected {
+        eprintln!("running {id} ({scale:?})...");
+        let t0 = std::time::Instant::now();
+        let reports = runner(scale);
+        for report in &reports {
+            println!("{}", report.render());
+            if let Some(dir) = &csv_dir {
+                let path = format!("{dir}/{}.csv", report.id);
+                let mut f = std::fs::File::create(&path).expect("create csv");
+                f.write_all(report.to_csv().as_bytes()).expect("write csv");
+                eprintln!("wrote {path}");
+            }
+        }
+        eprintln!("{id} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}

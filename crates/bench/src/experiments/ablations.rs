@@ -1,0 +1,225 @@
+//! Ablations — head-to-head comparisons of the design choices the paper
+//! (and DESIGN.md) call out. Not figures from the paper; these quantify
+//! *why* each mechanism was chosen.
+//!
+//! 1. **Eviction policy** (DISTINCT): LRU's rolling refresh vs FIFO across
+//!    workload skews — LRU is the paper's default because hot keys stay
+//!    cached.
+//! 2. **Projection** (SKYLINE): SUM vs APH across dimension-range skew —
+//!    §4.4 argues product ordering resists range bias.
+//! 3. **Multi-entry packets** (§9): effective entry rate and pruning
+//!    parity of batched DISTINCT vs single-entry.
+//! 4. **Switch hierarchy** (§9): end-to-end unpruned fraction vs leaf
+//!    count at fixed per-device resources.
+
+use crate::report::frac;
+use crate::{Report, Scale};
+use cheetah_core::batch::{effective_entry_rate, BatchedDistinct, BatchedDistinctConfig};
+use cheetah_core::hierarchy::MultiSwitch;
+use cheetah_core::{
+    DistinctConfig, DistinctPruner, EvictionPolicy, QuerySpec, SkylineConfig, SkylinePolicy,
+    SkylinePruner, StandalonePruner,
+};
+use cheetah_switch::hash::mix64;
+use cheetah_switch::{ResourceLedger, SwitchProfile, Verdict};
+use cheetah_workloads::streams;
+
+const SEED: u64 = 0xAB1A;
+
+fn ledger() -> ResourceLedger {
+    let mut p = SwitchProfile::tofino2();
+    p.stages = 64;
+    p.sram_bits_per_stage = 1 << 31;
+    ResourceLedger::new(p)
+}
+
+/// Ablation 1: LRU vs FIFO across skew.
+pub fn eviction_policy(scale: Scale) -> Report {
+    let m = scale.entries(120_000, 5_000_000);
+    let mut r = Report::new(
+        "abl-eviction",
+        "DISTINCT eviction ablation: unpruned fraction, LRU vs FIFO, by skew",
+        &["zipf_s", "LRU", "FIFO"],
+    );
+    for s in [0.0f64, 0.8, 1.1, 1.4] {
+        let stream = streams::skewed_duplicates_stream(m, 2_000, s, SEED);
+        let mut cells = vec![format!("{s:.1}")];
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Fifo] {
+            let mut p = StandalonePruner::new(
+                DistinctPruner::build(
+                    DistinctConfig {
+                        rows: 512,
+                        cols: 2,
+                        policy,
+                        fingerprint: None,
+                        seed: SEED,
+                    },
+                    &mut ledger(),
+                )
+                .expect("build"),
+            );
+            for &v in &stream {
+                p.offer(&[v]).expect("run");
+            }
+            cells.push(frac(p.stats().unpruned_fraction()));
+        }
+        r.row(cells);
+    }
+    r.note("capacity-starved matrix (d=512 « 2000 keys) to expose the policies");
+    r
+}
+
+/// Ablation 2: SUM vs APH projection under dimension-range skew.
+pub fn projection(scale: Scale) -> Report {
+    let m = scale.entries(50_000, 2_000_000);
+    let mut r = Report::new(
+        "abl-projection",
+        "SKYLINE projection ablation: unpruned fraction, SUM vs APH, by range skew",
+        &["dim2_bits", "Sum", "APH"],
+    );
+    for bits in [8u32, 12, 16, 20] {
+        // dim1 is always 8-bit; dim2 range grows — the §4.4 bias scenario.
+        let mut x = SEED ^ u64::from(bits);
+        let stream: Vec<Vec<u64>> = (0..m)
+            .map(|_| {
+                x = mix64(x);
+                let d1 = x % 256 + 1;
+                x = mix64(x);
+                vec![d1, x % (1 << bits) + 1]
+            })
+            .collect();
+        let mut cells = vec![bits.to_string()];
+        for policy in [SkylinePolicy::Sum, SkylinePolicy::Aph { beta: 1 << 8 }] {
+            let cfg = SkylineConfig { dims: 2, points: 8, policy, packed: true };
+            let mut p =
+                StandalonePruner::new(SkylinePruner::build(cfg, &mut ledger()).expect("build"));
+            for v in &stream {
+                p.offer(v).expect("run");
+            }
+            cells.push(frac(p.stats().unpruned_fraction()));
+        }
+        r.row(cells);
+    }
+    r.note("SUM is biased toward the wide dimension; APH orders by (approximate) product");
+    r
+}
+
+/// Ablation 3: multi-entry packets — modelled wire rate and measured
+/// pruning parity.
+pub fn batching(scale: Scale) -> Report {
+    let m = scale.entries(100_000, 2_000_000);
+    let stream = streams::skewed_duplicates_stream(m, 1_000, 1.1, SEED ^ 0xBA);
+    let mut r = Report::new(
+        "abl-batching",
+        "Multi-entry packets (§9): entry rate at 10G and pruning parity",
+        &["entries_per_pkt", "Mentries_per_sec", "unpruned", "alus_per_stage"],
+    );
+    for batch in [1usize, 2, 4, 8] {
+        let rate = effective_entry_rate(10e9, 42, 8, batch) / 1e6;
+        let cfg = BatchedDistinctConfig { rows: 2048, cols: 2, batch, seed: SEED };
+        let usage =
+            BatchedDistinct::table2_row(cfg, SwitchProfile::tofino2()).expect("fits");
+        let mut b = BatchedDistinct::build(cfg, &mut ledger()).expect("build");
+        let mut seen = 0u64;
+        let mut forwarded = 0u64;
+        for chunk in stream.chunks(batch) {
+            let verdicts = b.process_batch(chunk).expect("run");
+            seen += chunk.len() as u64;
+            forwarded += verdicts.survivors() as u64;
+        }
+        r.row(vec![
+            batch.to_string(),
+            format!("{rate:.1}"),
+            frac(forwarded as f64 / seen as f64),
+            (usage.alus / 2).to_string(), // per stage (2 stages)
+        ]);
+    }
+    r.note("batching multiplies entry rate at the cost of ALUs; pruning rate barely moves");
+    r
+}
+
+/// Ablation 4: switch hierarchy (§9) — leaves vs pruning.
+pub fn hierarchy(scale: Scale) -> Report {
+    let m = scale.entries(120_000, 5_000_000);
+    let stream = streams::skewed_duplicates_stream(m, 4_000, 1.0, SEED ^ 0x123);
+    let mut r = Report::new(
+        "abl-hierarchy",
+        "Multi-switch hierarchy (§9): end-to-end unpruned fraction vs leaf count",
+        &["leaves", "unpruned", "vs_single"],
+    );
+    let spec = QuerySpec::Distinct(DistinctConfig {
+        rows: 256,
+        cols: 2,
+        policy: EvictionPolicy::Lru,
+        fingerprint: None,
+        seed: 0,
+    });
+    let mut single_frac = None;
+    for leaves in [1usize, 2, 4, 8] {
+        let mut h = MultiSwitch::build(&spec, leaves, &SwitchProfile::tofino1(), SEED)
+            .expect("build");
+        for &v in &stream {
+            h.offer(&[v]).expect("run");
+        }
+        let f = h.unpruned_fraction();
+        let single = *single_frac.get_or_insert(f);
+        r.row(vec![
+            leaves.to_string(),
+            frac(f),
+            format!("{:.2}x", single / f.max(1e-12)),
+        ]);
+    }
+    r.note("per-device resources fixed (d=256, w=2); leaves add capacity, root mops up");
+    r
+}
+
+/// All four ablations.
+pub fn run(scale: Scale) -> Vec<Report> {
+    vec![eviction_policy(scale), projection(scale), batching(scale), hierarchy(scale)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(r: &Report, row: usize, col: usize) -> f64 {
+        r.rows[row][col].parse().expect("numeric")
+    }
+
+    #[test]
+    fn lru_wins_under_skew() {
+        let r = eviction_policy(Scale::Quick);
+        // At the highest skew, LRU must beat FIFO (hot keys stay cached).
+        let last = r.rows.len() - 1;
+        assert!(parse(&r, last, 1) <= parse(&r, last, 2), "{:?}", r.rows[last]);
+    }
+
+    #[test]
+    fn batching_rate_grows_with_batch() {
+        let r = batching(Scale::Quick);
+        assert!(parse(&r, 3, 1) > parse(&r, 0, 1) * 3.0);
+        // Pruning parity: within 3 percentage points of single-entry.
+        let single = parse(&r, 0, 2);
+        let batched = parse(&r, 3, 2);
+        assert!((single - batched).abs() < 0.03, "single {single} vs batched {batched}");
+    }
+
+    #[test]
+    fn hierarchy_monotone_in_leaves() {
+        let r = hierarchy(Scale::Quick);
+        let first = parse(&r, 0, 1);
+        let last = parse(&r, r.rows.len() - 1, 1);
+        assert!(last < first, "more leaves must prune more: {first} -> {last}");
+    }
+
+    #[test]
+    fn projection_reports_both_policies() {
+        let r = projection(Scale::Quick);
+        assert_eq!(r.rows.len(), 4);
+        for row in &r.rows {
+            let sum: f64 = row[1].parse().unwrap();
+            let aph: f64 = row[2].parse().unwrap();
+            assert!(sum > 0.0 && aph > 0.0);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Figure 11 — pruning performance vs. data scale (six panels).
+//!
+//! Fixed resources, growing stream prefixes. DISTINCT / GROUP BY / TOP N /
+//! SKYLINE improve with scale (the structures "learn" the data); JOIN and
+//! HAVING degrade (filters fill up, more keys cross the threshold).
+
+use crate::report::frac;
+use crate::{Report, Scale};
+use cheetah_core::{
+    AggKind, BloomKind, DistinctConfig, DistinctPruner, EvictionPolicy, GroupByConfig,
+    GroupByPruner, HavingAgg, HavingConfig, HavingPruner, JoinConfig, JoinMode, JoinPruner,
+    SkylineConfig, SkylinePolicy, SkylinePruner, StandalonePruner, TopNRandConfig,
+    TopNRandPruner,
+};
+use cheetah_switch::{ControlMsg, ResourceLedger, SwitchProfile, SwitchProgram};
+use cheetah_workloads::streams;
+
+const SEED: u64 = 0xF16_11;
+const CHECKPOINTS: usize = 8;
+
+fn ledger() -> ResourceLedger {
+    let mut p = SwitchProfile::tofino2();
+    p.stages = 64;
+    p.sram_bits_per_stage = 1 << 31;
+    p.tcam_entries = 1 << 20;
+    ResourceLedger::new(p)
+}
+
+/// Run one program over the stream, reporting the cumulative unpruned
+/// fraction at evenly spaced checkpoints.
+fn scaled_run<P: SwitchProgram>(program: P, stream: &[Vec<u64>]) -> Vec<(usize, f64)> {
+    let mut p = StandalonePruner::new(program);
+    let step = (stream.len() / CHECKPOINTS).max(1);
+    let mut out = Vec::new();
+    for (i, v) in stream.iter().enumerate() {
+        p.offer(v).expect("run");
+        if (i + 1) % step == 0 || i + 1 == stream.len() {
+            out.push((i + 1, p.stats().unpruned_fraction()));
+        }
+    }
+    out.dedup_by_key(|(n, _)| *n);
+    out
+}
+
+/// Panel (a): DISTINCT (w=2) across d, vs scale.
+pub fn panel_a(scale: Scale) -> Report {
+    let m = scale.entries(160_000, 20_000_000);
+    let stream: Vec<Vec<u64>> = streams::duplicates_stream(m, 2_000, SEED)
+        .into_iter()
+        .map(|v| vec![v])
+        .collect();
+    let ds = [64usize, 256, 1024, 4096, 16384];
+    let mut r = Report::new(
+        "fig11a",
+        "DISTINCT (w=2) unpruned fraction vs entries, per d",
+        &["entries", "d=64", "d=256", "d=1024", "d=4096", "d=16384"],
+    );
+    let mut curves = Vec::new();
+    for d in ds {
+        let cfg = DistinctConfig {
+            rows: d,
+            cols: 2,
+            policy: EvictionPolicy::Lru,
+            fingerprint: None,
+            seed: SEED,
+        };
+        curves.push(scaled_run(
+            DistinctPruner::build(cfg, &mut ledger()).expect("build"),
+            &stream,
+        ));
+    }
+    for i in 0..curves[0].len() {
+        let mut cells = vec![curves[0][i].0.to_string()];
+        for c in &curves {
+            cells.push(frac(c[i].1));
+        }
+        r.row(cells);
+    }
+    r.note("larger data → better pruning: first occurrences amortize away");
+    r
+}
+
+/// Panel (b): SKYLINE (APH) across w, vs scale.
+pub fn panel_b(scale: Scale) -> Report {
+    let m = scale.entries(60_000, 5_000_000);
+    let stream = streams::points_stream(m, 2, 1 << 16, SEED ^ 0xB);
+    let ws = [2usize, 4, 8, 16];
+    let mut r = Report::new(
+        "fig11b",
+        "SKYLINE (APH) unpruned fraction vs entries, per w",
+        &["entries", "w=2", "w=4", "w=8", "w=16"],
+    );
+    let mut curves = Vec::new();
+    for w in ws {
+        let cfg = SkylineConfig {
+            dims: 2,
+            points: w,
+            policy: SkylinePolicy::Aph { beta: 1 << 8 },
+            packed: true,
+        };
+        curves.push(scaled_run(
+            SkylinePruner::build(cfg, &mut ledger()).expect("build"),
+            &stream,
+        ));
+    }
+    for i in 0..curves[0].len() {
+        let mut cells = vec![curves[0][i].0.to_string()];
+        for c in &curves {
+            cells.push(frac(c[i].1));
+        }
+        r.row(cells);
+    }
+    r
+}
+
+/// Panel (c): TOP N (randomized, d=4096) across w, vs scale.
+pub fn panel_c(scale: Scale) -> Report {
+    let m = scale.entries(160_000, 20_000_000);
+    let stream: Vec<Vec<u64>> = streams::random_values(m, 1 << 31, SEED ^ 0xC)
+        .into_iter()
+        .map(|v| vec![v])
+        .collect();
+    let ws = [4usize, 6, 8, 12];
+    let mut r = Report::new(
+        "fig11c",
+        "TOP N (rand, d=4096) unpruned fraction vs entries, per w",
+        &["entries", "w=4", "w=6", "w=8", "w=12"],
+    );
+    let mut curves = Vec::new();
+    for w in ws {
+        curves.push(scaled_run(
+            TopNRandPruner::build(
+                TopNRandConfig { rows: 4096, cols: w, seed: SEED },
+                &mut ledger(),
+            )
+            .expect("build"),
+            &stream,
+        ));
+    }
+    for i in 0..curves[0].len() {
+        let mut cells = vec![curves[0][i].0.to_string()];
+        for c in &curves {
+            cells.push(frac(c[i].1));
+        }
+        r.row(cells);
+    }
+    r
+}
+
+/// Panel (d): GROUP BY (MAX, d=4096) across w, vs scale.
+pub fn panel_d(scale: Scale) -> Report {
+    let m = scale.entries(160_000, 20_000_000);
+    let stream: Vec<Vec<u64>> = streams::keyed_values(m, 5_000, 1 << 20, SEED ^ 0xD)
+        .into_iter()
+        .map(|kv| kv.to_vec())
+        .collect();
+    let ws = [2usize, 4, 6, 8, 10];
+    let mut r = Report::new(
+        "fig11d",
+        "GROUP BY (MAX, d=4096) unpruned fraction vs entries, per w",
+        &["entries", "w=2", "w=4", "w=6", "w=8", "w=10"],
+    );
+    let mut curves = Vec::new();
+    for w in ws {
+        curves.push(scaled_run(
+            GroupByPruner::build(
+                GroupByConfig { rows: 4096, cols: w, agg: AggKind::Max, key_bits: 31, seed: SEED },
+                &mut ledger(),
+            )
+            .expect("build"),
+            &stream,
+        ));
+    }
+    for i in 0..curves[0].len() {
+        let mut cells = vec![curves[0][i].0.to_string()];
+        for c in &curves {
+            cells.push(frac(c[i].1));
+        }
+        r.row(cells);
+    }
+    r
+}
+
+/// Panel (e): JOIN across filter size, vs scale (re-run per scale point —
+/// the two-pass structure has no cumulative form).
+pub fn panel_e(scale: Scale) -> Report {
+    let n_full = scale.entries(40_000, 2_000_000);
+    // Scaled-down sizes for the same reason as Figure 10e: at quick-scale
+    // key counts, megabyte filters never saturate.
+    let sizes_kb = [16u64, 64, 256, 1024];
+    let mut r = Report::new(
+        "fig11e",
+        "JOIN unpruned fraction (pass 2) vs entries, per filter size",
+        &["entries", "16KB", "64KB", "256KB", "1MB"],
+    );
+    for step in 1..=4usize {
+        let n = n_full * step / 4;
+        let (keys_a, keys_b) = streams::join_streams(n, n, 0.10, SEED ^ 0xE);
+        let mut cells = vec![(2 * n).to_string()];
+        for size_kb in sizes_kb {
+            let cfg = JoinConfig {
+                m_bits: size_kb * 1024 * 8,
+                kind: BloomKind::Classic { h: 3 },
+                mode: JoinMode::TwoPass,
+                fid_a: 0,
+                fid_b: 1,
+                seed: SEED,
+            };
+            let mut p = StandalonePruner::new(
+                JoinPruner::build(cfg, &mut ledger()).expect("build"),
+            );
+            for &k in &keys_a {
+                p.offer_for_fid(0, &[k]).expect("run");
+            }
+            for &k in &keys_b {
+                p.offer_for_fid(1, &[k]).expect("run");
+            }
+            p.program_mut().control(&ControlMsg::SetPhase(2)).expect("phase");
+            p.reset_stats();
+            for &k in &keys_a {
+                p.offer_for_fid(0, &[k]).expect("run");
+            }
+            for &k in &keys_b {
+                p.offer_for_fid(1, &[k]).expect("run");
+            }
+            cells.push(frac(p.stats().unpruned_fraction()));
+        }
+        r.row(cells);
+    }
+    r.note("more keys → more Bloom false positives → worse pruning at fixed size");
+    r
+}
+
+/// Panel (f): HAVING across counters per row, vs scale.
+pub fn panel_f(scale: Scale) -> Report {
+    let m = scale.entries(160_000, 20_000_000);
+    let keys = 2_000;
+    let stream: Vec<Vec<u64>> = streams::revenue_stream(m, keys, SEED ^ 0xF)
+        .into_iter()
+        .map(|kv| kv.to_vec())
+        .collect();
+    let threshold = (m / keys) as u64 * 50 * 3;
+    let ws = [32usize, 64, 128, 256, 512];
+    let mut r = Report::new(
+        "fig11f",
+        "HAVING (3 CM rows) unpruned fraction vs entries, per counters/row",
+        &["entries", "w=32", "w=64", "w=128", "w=256", "w=512"],
+    );
+    let mut curves = Vec::new();
+    for w in ws {
+        let cfg = HavingConfig {
+            cm_rows: 3,
+            cm_counters: w,
+            threshold,
+            agg: HavingAgg::Sum,
+            dedup_rows: 2048,
+            dedup_cols: 2,
+            seed: SEED,
+        };
+        curves.push(scaled_run(
+            HavingPruner::build(cfg, &mut ledger()).expect("build"),
+            &stream,
+        ));
+    }
+    for i in 0..curves[0].len() {
+        let mut cells = vec![curves[0][i].0.to_string()];
+        for c in &curves {
+            cells.push(frac(c[i].1));
+        }
+        r.row(cells);
+    }
+    r.note("output grows with the data (more keys qualify), so pruning degrades");
+    r
+}
+
+/// All six panels.
+pub fn run(scale: Scale) -> Vec<Report> {
+    vec![
+        panel_a(scale),
+        panel_b(scale),
+        panel_c(scale),
+        panel_d(scale),
+        panel_e(scale),
+        panel_f(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(r: &Report, row: usize, col: usize) -> f64 {
+        r.rows[row][col].parse().expect("numeric")
+    }
+
+    #[test]
+    fn distinct_improves_with_scale() {
+        let r = panel_a(Scale::Quick);
+        let first = parse(&r, 0, 4); // d=16384 curve
+        let last = parse(&r, r.rows.len() - 1, 4);
+        assert!(last < first, "DISTINCT should improve with scale: {first} -> {last}");
+    }
+
+    #[test]
+    fn topn_improves_with_scale() {
+        let r = panel_c(Scale::Quick);
+        let first = parse(&r, 0, 1);
+        let last = parse(&r, r.rows.len() - 1, 1);
+        assert!(last < first);
+    }
+
+    #[test]
+    fn join_degrades_with_scale() {
+        let r = panel_e(Scale::Quick);
+        // Smallest filter, growing data: unpruned fraction must not shrink.
+        let first = parse(&r, 0, 1);
+        let last = parse(&r, r.rows.len() - 1, 1);
+        assert!(last >= first * 0.9, "JOIN should degrade (or flatline): {first} -> {last}");
+    }
+
+    #[test]
+    fn groupby_improves_with_scale() {
+        let r = panel_d(Scale::Quick);
+        let first = parse(&r, 0, 5);
+        let last = parse(&r, r.rows.len() - 1, 5);
+        assert!(last < first);
+    }
+}

@@ -1,0 +1,109 @@
+//! Figures 12 & 13 — processing a query on the master server vs. on the
+//! switch's management CPU (Appendix F.1).
+//!
+//! NetAccel overflows work the dataplane cannot finish to the switch CPU;
+//! the paper shows that CPU is far weaker than a server and sits behind a
+//! thin dataplane→CPU channel, so offloading the *remainder to the master*
+//! (Cheetah's choice) scales and offloading to the switch CPU does not.
+//!
+//! Server times are measured by running the real `cheetah-db` operators;
+//! switch-CPU times apply [`SwitchCpuModel`](cheetah_switch::SwitchCpuModel)
+//! (slowdown + channel transfer) to the measured baseline.
+
+use crate::report::secs;
+use crate::{Report, Scale};
+use cheetah_db::ops;
+use cheetah_db::table::{Column, Partition};
+use cheetah_switch::hash::mix64;
+use cheetah_switch::SwitchCpuModel;
+use std::time::Instant;
+
+fn keyed_partition(rows: usize, keys: u64, seed: u64) -> Partition {
+    let mut x = seed;
+    let mut ks = Vec::with_capacity(rows);
+    let mut vs = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        x = mix64(x);
+        ks.push(format!("k{}", x % keys));
+        x = mix64(x);
+        vs.push((x % 10_000) as i64);
+    }
+    Partition::new(vec![Column::Str(ks), Column::Int(vs)])
+}
+
+fn one_figure(
+    id: &'static str,
+    title: &str,
+    scale: Scale,
+    op: impl Fn(&Partition),
+) -> Report {
+    let cpu = SwitchCpuModel::default_model();
+    let mut r = Report::new(id, title, &["rows", "server", "switch_cpu", "slowdown"]);
+    let base = scale.entries(50_000, 2_000_000);
+    for mult in [1usize, 2, 4, 8] {
+        let rows = base * mult;
+        let part = keyed_partition(rows, 1_000, 42);
+        let t0 = Instant::now();
+        op(&part);
+        let server = t0.elapsed().as_secs_f64();
+        let bytes = rows as u64 * 16;
+        let switch_cpu = cpu.processing_seconds(server, bytes);
+        r.row(vec![
+            rows.to_string(),
+            secs(server),
+            secs(switch_cpu),
+            format!("{:.1}x", switch_cpu / server.max(1e-12)),
+        ]);
+    }
+    r.note(format!(
+        "switch CPU model: {}x core slowdown + {} Gbps dataplane→CPU channel",
+        cpu.slowdown, cpu.channel_gbps
+    ));
+    r
+}
+
+/// Build both figures.
+pub fn run(scale: Scale) -> Vec<Report> {
+    vec![
+        one_figure(
+            "fig12",
+            "Group-By processing: server vs switch CPU",
+            scale,
+            |p| {
+                std::hint::black_box(ops::partial_groupby_max(0, 1, p));
+            },
+        ),
+        one_figure(
+            "fig13",
+            "Distinct processing: server vs switch CPU",
+            scale,
+            |p| {
+                std::hint::black_box(ops::partial_distinct(0, p));
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_cpu_is_always_slower() {
+        for r in run(Scale::Quick) {
+            for row in &r.rows {
+                let slowdown: f64 =
+                    row[3].strip_suffix('x').unwrap().parse().expect("slowdown");
+                assert!(slowdown > 1.0, "{}: {row:?}", r.id);
+            }
+        }
+    }
+
+    #[test]
+    fn both_figures_emitted() {
+        let rs = run(Scale::Quick);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].id, "fig12");
+        assert_eq!(rs[1].id, "fig13");
+    }
+}

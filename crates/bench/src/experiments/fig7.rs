@@ -1,0 +1,85 @@
+//! Figure 7 — the NetAccel result-drain overhead.
+//!
+//! NetAccel-style systems complete queries *on* the switch, so the result
+//! lives in switch registers and must be drained through the control plane
+//! before the query can answer (and before any downstream operator can
+//! start). Cheetah streams survivors to the master during execution and
+//! pays nothing extra. The paper measured a *lower bound* for NetAccel —
+//! the time to read the output back — which is exactly what
+//! [`DrainModel`](cheetah_switch::DrainModel) charges.
+//!
+//! Workload: TPC-H Q3's order-key join; the result size is varied by
+//! changing the filter ranges (x-axis: result size as % of the input).
+
+use crate::report::secs;
+use crate::{Report, Scale};
+use cheetah_db::engine::ENTRY_WIRE_BYTES;
+use cheetah_switch::DrainModel;
+
+const LINK_GBPS: f64 = 10.0;
+/// Per-entry master-side merge cost (measured order of magnitude for the
+/// hash-join build side).
+const MASTER_NS_PER_ENTRY: f64 = 60.0;
+
+/// Build the figure.
+pub fn run(scale: Scale) -> Vec<Report> {
+    let input_entries = scale.entries(2_000_000, 50_000_000) as f64;
+    let drain = DrainModel::default_model();
+    let mut r = Report::new(
+        "fig7",
+        "Result-move overhead vs result size (Cheetah streaming vs NetAccel drain)",
+        &["result_%", "cheetah", "netaccel_lower_bound", "ratio"],
+    );
+    for pct in [0.5f64, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0] {
+        let result_entries = input_entries * pct / 100.0;
+        // Cheetah: survivors stream to the master at line rate, overlapped
+        // with execution; the visible cost is the tail transfer + merge.
+        let cheetah = result_entries * ENTRY_WIRE_BYTES as f64 * 8.0 / (LINK_GBPS * 1e9)
+            + result_entries * MASTER_NS_PER_ENTRY * 1e-9;
+        // NetAccel: the same result must additionally be drained from the
+        // dataplane before it is usable, and cannot be pipelined.
+        let netaccel =
+            cheetah + drain.drain_seconds((result_entries * ENTRY_WIRE_BYTES as f64) as u64);
+        r.row(vec![
+            format!("{pct}"),
+            secs(cheetah),
+            secs(netaccel),
+            format!("{:.2}x", netaccel / cheetah.max(1e-12)),
+        ]);
+    }
+    r.note(format!(
+        "input = {} entries; drain channel = {} Gbps + {} ms setup (DrainModel)",
+        input_entries as u64, drain.channel_gbps, drain.setup_seconds * 1e3
+    ));
+    r.note("NetAccel bound mirrors the paper's: ideal dataplane execution, drain cost only");
+    vec![r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netaccel_is_always_slower_and_gap_grows_absolutely() {
+        let r = &run(Scale::Quick)[0];
+        let parse = |s: &str| -> f64 {
+            // secs() renders "1.23s" / "4.56ms" / "7.8µs".
+            if let Some(x) = s.strip_suffix("ms") {
+                x.parse::<f64>().unwrap() * 1e-3
+            } else if let Some(x) = s.strip_suffix("µs") {
+                x.parse::<f64>().unwrap() * 1e-6
+            } else {
+                s.strip_suffix('s').unwrap().parse::<f64>().unwrap()
+            }
+        };
+        let mut last_gap = 0.0;
+        for row in &r.rows {
+            let cheetah = parse(&row[1]);
+            let net = parse(&row[2]);
+            assert!(net > cheetah, "NetAccel must pay the drain: {row:?}");
+            let gap = net - cheetah;
+            assert!(gap >= last_gap * 0.99, "absolute gap should grow with result size");
+            last_gap = gap;
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! One module per paper artifact, plus the design-choice ablations.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_13;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+pub mod table3;
+
+use crate::{Report, Scale};
+
+/// Every experiment, in paper order: `(id, runner)`.
+pub fn all() -> Vec<(&'static str, fn(Scale) -> Vec<Report>)> {
+    vec![
+        ("table2", table2::run as fn(Scale) -> Vec<Report>),
+        ("table3", table3::run),
+        ("fig5", fig5::run),
+        ("fig6", fig6::run),
+        ("fig7", fig7::run),
+        ("fig8", fig8::run),
+        ("fig9", fig9::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12_13", fig12_13::run),
+        ("ablations", ablations::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_artifact() {
+        let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
+        for want in
+            ["table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+             "fig12_13"]
+        {
+            assert!(ids.contains(&want), "missing experiment {want}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # cheetah-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation. Each experiment
+//! is a function `run(scale) -> Report` (or several reports for
+//! multi-panel figures) that regenerates the corresponding rows/series;
+//! the `cheetah-experiments` binary runs them all and writes text + CSV.
+//!
+//! | experiment | paper artifact |
+//! |---|---|
+//! | [`experiments::table2`] | Table 2 — per-algorithm switch resources |
+//! | [`experiments::table3`] | Table 3 — hardware comparison (constants) |
+//! | [`experiments::fig5`] | Fig. 5 — completion time, 9 queries, Spark vs Cheetah |
+//! | [`experiments::fig6`] | Fig. 6 — workers / data-scale sweeps (DISTINCT) |
+//! | [`experiments::fig7`] | Fig. 7 — NetAccel result-drain overhead |
+//! | [`experiments::fig8`] | Fig. 8 — delay breakdown at 10G/20G |
+//! | [`experiments::fig9`] | Fig. 9 — blocking master latency vs unpruned fraction |
+//! | [`experiments::fig10`] | Fig. 10a–f — pruning rate vs resources |
+//! | [`experiments::fig11`] | Fig. 11a–f — pruning rate vs data scale |
+//! | [`experiments::fig12_13`] | Figs. 12/13 — server vs switch-CPU processing |
+//!
+//! `Scale::Quick` keeps every experiment in CI-friendly territory;
+//! `Scale::Full` runs the paper-sized streams (tens of millions of
+//! entries) and takes minutes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small streams; seconds per experiment.
+    Quick,
+    /// Paper-sized streams; minutes.
+    Full,
+}
+
+impl Scale {
+    /// Multiply a quick-scale count up for full scale.
+    pub fn entries(&self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

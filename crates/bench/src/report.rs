@@ -1,0 +1,161 @@
+//! Tabular experiment reports: aligned text for the terminal, CSV for
+//! plotting.
+
+/// One experiment's output table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Short id, e.g. `fig10a`.
+    pub id: &'static str,
+    /// Human title, e.g. the figure caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes (substitutions, parameters, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows; notes as trailing comments).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("# {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format a fraction in scientific-ish notation matching the paper's
+/// log-scale plots.
+pub fn frac(f: f64) -> String {
+    if f == 0.0 {
+        "0".to_string()
+    } else if f >= 0.01 {
+        format!("{f:.4}")
+    } else {
+        format!("{f:.2e}")
+    }
+}
+
+/// Format seconds.
+pub fn secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}µs", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Report::new("t", "test", &["a", "longer"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.row(vec!["100".into(), "20000".into()]);
+        r.note("hello");
+        let s = r.render();
+        assert!(s.contains("t — test"));
+        assert!(s.contains("note: hello"));
+        // All data lines have equal length.
+        let lines: Vec<&str> = s.lines().skip(1).take(4).collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut r = Report::new("t", "test", &["a"]);
+        r.row(vec!["x,y".into()]);
+        assert!(r.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut r = Report::new("t", "test", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(frac(0.5), "0.5000");
+        assert!(frac(1e-5).contains('e'));
+        assert_eq!(frac(0.0), "0");
+        assert_eq!(secs(2.5), "2.50s");
+        assert_eq!(secs(0.002), "2.00ms");
+        assert_eq!(secs(2e-6), "2.0µs");
+    }
+}

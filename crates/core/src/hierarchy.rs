@@ -1,0 +1,255 @@
+//! Multiple switches (§9 "Multiple switches").
+//!
+//! *"We can use a 'master switch' to partition the data and offload each
+//! partition to a different switch. Each switch can perform local pruning
+//! of its partition and return it to the master switch which prunes the
+//! data further. This increases the hardware resources at our disposal and
+//! allows superior pruning results."*
+//!
+//! [`MultiSwitch`] implements that topology for the single-table pruners:
+//! a partitioning hash on the entry key spreads the stream over `L` leaf
+//! switches (so equal keys always meet the same leaf state — required for
+//! DISTINCT/GROUP BY/HAVING semantics); survivors funnel through a root
+//! switch running the same algorithm. Pruning at any level is safe because
+//! each level's pruning contract is closed under taking substreams.
+//!
+//! JOIN is excluded: its two-sided, two-pass structure needs the paper's
+//! per-edge treatment (each DAG edge gets its own flow id and resources).
+
+use crate::planner::{build_into, QuerySpec};
+use cheetah_switch::{HashFn, Pipeline, ProgramId, ProgramStats, ResourceLedger, SwitchProfile,
+    Verdict};
+
+/// A two-level switch hierarchy running one pruning algorithm.
+pub struct MultiSwitch {
+    leaves: Vec<(Pipeline, ProgramId)>,
+    root: (Pipeline, ProgramId),
+    partition: HashFn,
+}
+
+impl MultiSwitch {
+    /// Build `leaf_count` leaf switches plus one root, each a fresh device
+    /// with its own resource ledger on `profile`, all running `spec`.
+    pub fn build(
+        spec: &QuerySpec,
+        leaf_count: usize,
+        profile: &SwitchProfile,
+        seed: u64,
+    ) -> crate::Result<Self> {
+        assert!(leaf_count >= 1, "need at least one leaf switch");
+        assert!(
+            !matches!(spec, QuerySpec::Join(_)),
+            "JOIN needs per-edge planning, not the hierarchy (see module docs)"
+        );
+        let mk = |salt: u64| -> crate::Result<(Pipeline, ProgramId)> {
+            let mut ledger = ResourceLedger::new(profile.clone());
+            let mut pipeline = Pipeline::new();
+            // Give each device an independent seed so hash collisions don't
+            // correlate across levels.
+            let spec = reseed(spec, seed ^ salt);
+            let id = build_into(&spec, &mut ledger, &mut pipeline)?;
+            pipeline.bind_flow(0, id);
+            Ok((pipeline, id))
+        };
+        let leaves: Vec<_> =
+            (0..leaf_count).map(|i| mk(0x1EAF ^ (i as u64) << 8)).collect::<Result<_, _>>()?;
+        let root = mk(0x4007)?;
+        Ok(Self { leaves, root, partition: HashFn::from_seed(seed ^ 0x9A57E4) })
+    }
+
+    /// Number of leaf switches.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Offer one entry: the master switch partitions it to a leaf; leaf
+    /// survivors are pruned again at the root.
+    pub fn offer(&mut self, values: &[u64]) -> crate::Result<Verdict> {
+        let leaf = self.partition.index(values[0], self.leaves.len());
+        let (pipeline, _) = &mut self.leaves[leaf];
+        if pipeline.process(0, values)? == Verdict::Prune {
+            return Ok(Verdict::Prune);
+        }
+        self.root.0.process(0, values)
+    }
+
+    /// Aggregate statistics of the leaf level.
+    pub fn leaf_stats(&self) -> ProgramStats {
+        let mut s = ProgramStats::default();
+        for (p, id) in &self.leaves {
+            s.merge(&p.stats(*id));
+        }
+        s
+    }
+
+    /// Statistics of the root switch (its `seen` equals the leaves'
+    /// forwarded count).
+    pub fn root_stats(&self) -> ProgramStats {
+        self.root.0.stats(self.root.1)
+    }
+
+    /// End-to-end unpruned fraction.
+    pub fn unpruned_fraction(&self) -> f64 {
+        let leaves = self.leaf_stats();
+        if leaves.seen == 0 {
+            return 1.0;
+        }
+        self.root_stats().forwarded as f64 / leaves.seen as f64
+    }
+}
+
+/// Derive a per-device variant of the spec with an independent seed.
+fn reseed(spec: &QuerySpec, seed: u64) -> QuerySpec {
+    let mut s = spec.clone();
+    match &mut s {
+        QuerySpec::Distinct(c) => c.seed = seed,
+        QuerySpec::TopNRand(c) => c.seed = seed,
+        QuerySpec::GroupBy(c) => c.seed = seed,
+        QuerySpec::Having(c) => c.seed = seed,
+        QuerySpec::Join(c) => c.seed = seed,
+        QuerySpec::Filter(_) | QuerySpec::TopNDet(_) | QuerySpec::Skyline(_) => {}
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distinct::{DistinctConfig, EvictionPolicy};
+    use crate::groupby::{AggKind, GroupByConfig};
+    use cheetah_switch::hash::mix64;
+    use std::collections::HashSet;
+
+    fn distinct_spec(rows: usize) -> QuerySpec {
+        QuerySpec::Distinct(DistinctConfig {
+            rows,
+            cols: 2,
+            policy: EvictionPolicy::Lru,
+            fingerprint: None,
+            seed: 0,
+        })
+    }
+
+    #[test]
+    fn hierarchy_never_prunes_first_occurrence() {
+        let mut h =
+            MultiSwitch::build(&distinct_spec(64), 4, &SwitchProfile::tofino1(), 1).unwrap();
+        let mut forwarded = HashSet::new();
+        let mut x = 3u64;
+        for _ in 0..20_000 {
+            x = mix64(x);
+            let v = x % 500;
+            match h.offer(&[v]).unwrap() {
+                Verdict::Forward => {
+                    forwarded.insert(v);
+                }
+                Verdict::Prune => assert!(forwarded.contains(&v), "pruned unseen {v}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_beats_a_single_switch_of_leaf_size() {
+        // §9's claim: aggregate resources improve pruning. Compare one
+        // small switch against 4 leaves of the same size + a root.
+        let rows = 32;
+        let stream: Vec<u64> = {
+            let mut x = 7u64;
+            (0..60_000).map(|_| {
+                x = mix64(x);
+                x % 2_000
+            }).collect()
+        };
+        // Single switch.
+        let mut single = crate::pruner::StandalonePruner::new(
+            crate::distinct::DistinctPruner::build(
+                DistinctConfig {
+                    rows,
+                    cols: 2,
+                    policy: EvictionPolicy::Lru,
+                    fingerprint: None,
+                    seed: 2,
+                },
+                &mut ResourceLedger::new(SwitchProfile::tofino1()),
+            )
+            .unwrap(),
+        );
+        for &v in &stream {
+            single.offer(&[v]).unwrap();
+        }
+        // Hierarchy of the same per-device size.
+        let mut h =
+            MultiSwitch::build(&distinct_spec(rows), 4, &SwitchProfile::tofino1(), 2).unwrap();
+        for &v in &stream {
+            h.offer(&[v]).unwrap();
+        }
+        assert!(
+            h.unpruned_fraction() < single.stats().unpruned_fraction(),
+            "hierarchy {} vs single {}",
+            h.unpruned_fraction(),
+            single.stats().unpruned_fraction()
+        );
+    }
+
+    #[test]
+    fn root_sees_only_leaf_survivors() {
+        let mut h =
+            MultiSwitch::build(&distinct_spec(128), 3, &SwitchProfile::tofino1(), 3).unwrap();
+        let mut x = 11u64;
+        for _ in 0..5_000 {
+            x = mix64(x);
+            h.offer(&[x % 100]).unwrap();
+        }
+        let leaves = h.leaf_stats();
+        let root = h.root_stats();
+        assert_eq!(leaves.seen, 5_000);
+        assert_eq!(root.seen, leaves.forwarded);
+    }
+
+    #[test]
+    fn groupby_hierarchy_keeps_witness_invariant() {
+        let spec = QuerySpec::GroupBy(GroupByConfig {
+            rows: 64,
+            cols: 2,
+            agg: AggKind::Max,
+            key_bits: 31,
+            seed: 0,
+        });
+        let mut h = MultiSwitch::build(&spec, 3, &SwitchProfile::tofino1(), 5).unwrap();
+        let mut best: std::collections::HashMap<u64, u64> = Default::default();
+        let mut x = 17u64;
+        for _ in 0..30_000 {
+            x = mix64(x);
+            let k = x % 50;
+            x = mix64(x);
+            let v = x % 10_000;
+            match h.offer(&[k, v]).unwrap() {
+                Verdict::Forward => {
+                    let e = best.entry(k).or_insert(0);
+                    *e = (*e).max(v);
+                }
+                Verdict::Prune => {
+                    assert!(best.get(&k).is_some_and(|&b| b >= v), "no witness for ({k},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_rejected() {
+        let spec = QuerySpec::Join(crate::join::JoinConfig::paper_default());
+        let res = std::panic::catch_unwind(|| {
+            let _ = MultiSwitch::build(&spec, 2, &SwitchProfile::tofino1(), 1);
+        });
+        assert!(res.is_err(), "JOIN must be rejected by the hierarchy");
+    }
+
+    #[test]
+    fn single_leaf_degenerates_gracefully() {
+        let mut h =
+            MultiSwitch::build(&distinct_spec(64), 1, &SwitchProfile::tofino1(), 9).unwrap();
+        assert_eq!(h.leaf_count(), 1);
+        assert_eq!(h.offer(&[5]).unwrap(), Verdict::Forward);
+        assert_eq!(h.offer(&[5]).unwrap(), Verdict::Prune);
+    }
+}

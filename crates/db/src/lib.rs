@@ -1,0 +1,45 @@
+//! # cheetah-db — a columnar, partition-parallel mini query engine
+//!
+//! The Cheetah paper measures query completion time on Spark SQL with and
+//! without switch pruning. This crate is the Spark stand-in: a small but
+//! real query engine with the structural properties the paper's evaluation
+//! depends on —
+//!
+//! * **columnar partitions** distributed over workers,
+//! * a **worker/master split**: workers compute partial results over their
+//!   partitions (in parallel threads), the master merges,
+//! * **late materialization**: queries first run on the metadata columns,
+//!   then fetch full rows for the surviving entry ids,
+//! * a **Cheetah path** where workers only *serialize* the queried columns
+//!   (no per-row computation), the switch prunes, and the master completes
+//!   the query on the survivors — producing bit-identical output to the
+//!   baseline path.
+//!
+//! What is modelled and what is not (smoltcp-style honesty):
+//!
+//! * **Modelled**: per-phase wall-clock measurement of real work (the
+//!   operators actually execute), byte accounting for every transfer,
+//!   worker parallelism via threads, the master ingest/buffering model
+//!   behind Figure 9.
+//! * **Not modelled**: SQL parsing, a cost-based optimizer, spilling,
+//!   fault tolerance, or columnar compression codecs (compression is a
+//!   constant factor applied to baseline transfer sizes, as §7.1 notes
+//!   Spark compresses and Cheetah cannot).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod expr;
+pub mod master;
+pub mod ops;
+pub mod query;
+pub mod table;
+pub mod value;
+
+pub use engine::{CheetahRun, Cluster, ExecBreakdown, SparkRun};
+pub use expr::{DbPredicate, IntCmp, LikePattern};
+pub use master::MasterIngestModel;
+pub use query::{DbQuery, QueryOutput};
+pub use table::{Column, Partition, Table, TableBuilder};
+pub use value::{DataType, Value};

@@ -1,0 +1,114 @@
+//! Master-side models: ingest buffering (Figure 9) and completion from
+//! pruned streams.
+//!
+//! §8.3: *"The increase is super-linear in the unpruned rate since the
+//! master can handle each arriving entry immediately when almost all
+//! entries are pruned. In contrast, when the pruning rate is low, the
+//! entries buffer up at the master, causing an increase in the completion
+//! time."* [`MasterIngestModel`] reproduces that mechanism: entries arrive
+//! at the NIC rate, are serviced at a per-query rate, and the service rate
+//! degrades as the backlog grows (allocation/GC pressure at scale).
+
+use serde::{Deserialize, Serialize};
+
+/// Queueing model of the master ingesting a pruned stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MasterIngestModel {
+    /// Entry arrival rate at the master's NIC (entries/second) — the
+    /// CWorker send rate times the unpruned fraction.
+    pub arrival_rate: f64,
+    /// Base service rate (entries/second) of the query's software
+    /// completion operator — e.g. TOP N's heap handles millions/s while
+    /// SKYLINE's dominance checks are far slower (§8.3).
+    pub base_service_rate: f64,
+    /// Backlog at which the effective service rate has halved (buffering/
+    /// allocation pressure). Entries.
+    pub backlog_halving: f64,
+}
+
+impl MasterIngestModel {
+    /// Blocking latency (seconds) for the master to finish ingesting and
+    /// processing `entries` entries.
+    ///
+    /// Simulated in coarse steps: while entries are arriving the master
+    /// services at a backlog-degraded rate; after the last arrival it
+    /// drains the remaining backlog.
+    pub fn blocking_latency(&self, entries: u64) -> f64 {
+        if entries == 0 {
+            return 0.0;
+        }
+        let n = entries as f64;
+        let arrive_time = n / self.arrival_rate;
+        // Integrate in 100 steps over the arrival window.
+        let steps = 100;
+        let dt = arrive_time / steps as f64;
+        let mut backlog = 0.0f64;
+        let mut processed = 0.0f64;
+        for _ in 0..steps {
+            backlog += self.arrival_rate * dt;
+            let rate = self.base_service_rate / (1.0 + backlog / self.backlog_halving);
+            let served = (rate * dt).min(backlog);
+            backlog -= served;
+            processed += served;
+        }
+        let mut t = arrive_time;
+        // Drain the backlog.
+        let mut guard = 0;
+        while processed < n - 1e-9 && guard < 1_000_000 {
+            let rate = self.base_service_rate / (1.0 + backlog / self.backlog_halving);
+            let dt = (backlog / rate).max(1e-9).min(0.01);
+            let served = (rate * dt).min(backlog);
+            backlog -= served;
+            processed += served;
+            t += dt;
+            guard += 1;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(service: f64) -> MasterIngestModel {
+        MasterIngestModel {
+            arrival_rate: 10_000_000.0,
+            base_service_rate: service,
+            backlog_halving: 2_000_000.0,
+        }
+    }
+
+    #[test]
+    fn zero_entries_zero_latency() {
+        assert_eq!(model(1e6).blocking_latency(0), 0.0);
+    }
+
+    #[test]
+    fn latency_grows_superlinearly_in_entries() {
+        // Figure 9's key property: doubling the unpruned entries more than
+        // doubles the blocking latency once buffering kicks in.
+        let m = model(2_000_000.0);
+        let t1 = m.blocking_latency(5_000_000);
+        let t2 = m.blocking_latency(10_000_000);
+        assert!(t2 > 2.0 * t1 * 1.05, "t1={t1}, t2={t2}");
+    }
+
+    #[test]
+    fn fast_service_tracks_arrival() {
+        // When the master can keep up, latency ≈ arrival time.
+        let m = model(1e9);
+        let t = m.blocking_latency(1_000_000);
+        let arrive = 1_000_000.0 / m.arrival_rate;
+        assert!((t - arrive).abs() < arrive * 0.2, "t={t}, arrive={arrive}");
+    }
+
+    #[test]
+    fn slower_operators_take_longer() {
+        // §8.3: SKYLINE's expensive software operator needs more pruning
+        // than TOP N's heap for the same latency.
+        let fast = model(5e6).blocking_latency(2_000_000);
+        let slow = model(2e5).blocking_latency(2_000_000);
+        assert!(slow > fast * 2.0);
+    }
+}

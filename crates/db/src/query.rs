@@ -1,0 +1,176 @@
+//! Query specifications and normalized outputs.
+//!
+//! The seven query shapes mirror the paper's benchmark queries (Appendix
+//! B). Outputs are *normalized* (sorted / keyed) so the baseline path and
+//! the Cheetah path can be compared with `==` — the pruning correctness
+//! contract `Q(A_Q(D)) = Q(D)` is checked exactly this way throughout the
+//! test-suite.
+
+use crate::expr::DbPredicate;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A query over one table (or two, for JOIN).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DbQuery {
+    /// `SELECT COUNT(*) FROM t WHERE <pred>` — benchmark query 1
+    /// (BigData A).
+    FilterCount {
+        /// The WHERE predicate.
+        pred: DbPredicate,
+    },
+    /// `SELECT DISTINCT <col> FROM t` — benchmark query 2.
+    Distinct {
+        /// The projected column.
+        col: usize,
+    },
+    /// `SELECT * FROM t SKYLINE OF <cols>` (maximizing) — benchmark
+    /// query 3.
+    Skyline {
+        /// The skyline dimensions (int columns).
+        cols: Vec<usize>,
+    },
+    /// `SELECT TOP <n> * FROM t ORDER BY <order_col> DESC` — benchmark
+    /// query 4. Output is normalized to the sorted multiset of order
+    /// values (tie-breaking among equal values is unspecified in SQL).
+    TopN {
+        /// The ORDER BY column (int).
+        order_col: usize,
+        /// How many rows to return.
+        n: usize,
+    },
+    /// `SELECT <key>, MAX(<val>) FROM t GROUP BY <key>` — benchmark
+    /// query 5.
+    GroupByMax {
+        /// Grouping column.
+        key_col: usize,
+        /// Aggregated int column.
+        val_col: usize,
+    },
+    /// `SELECT * FROM left JOIN right ON left.<lk> = right.<rk>` —
+    /// benchmark query 6. Output is normalized to the join-pair count.
+    Join {
+        /// Key column in the left table.
+        left_key: usize,
+        /// Key column in the right table.
+        right_key: usize,
+    },
+    /// `SELECT <key> FROM t GROUP BY <key> HAVING SUM(<val>) > <c>` —
+    /// benchmark query 7 (BigData B's offloadable form).
+    HavingSum {
+        /// Grouping column.
+        key_col: usize,
+        /// Summed int column.
+        val_col: usize,
+        /// The threshold `c`.
+        threshold: i64,
+    },
+}
+
+impl DbQuery {
+    /// Short name for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DbQuery::FilterCount { .. } => "filter-count",
+            DbQuery::Distinct { .. } => "distinct",
+            DbQuery::Skyline { .. } => "skyline",
+            DbQuery::TopN { .. } => "topn",
+            DbQuery::GroupByMax { .. } => "groupby-max",
+            DbQuery::Join { .. } => "join",
+            DbQuery::HavingSum { .. } => "having-sum",
+        }
+    }
+
+    /// Does the query read two tables?
+    pub fn is_binary(&self) -> bool {
+        matches!(self, DbQuery::Join { .. })
+    }
+}
+
+/// Normalized query output, comparable with `==` across execution paths.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryOutput {
+    /// A row count.
+    Count(u64),
+    /// A sorted set of values (DISTINCT).
+    Values(Vec<Value>),
+    /// Sorted-descending multiset of the order column's top values.
+    TopValues(Vec<i64>),
+    /// Key → aggregate (GROUP BY MAX, HAVING sums).
+    KeyedInts(BTreeMap<Value, i64>),
+    /// Join-pair count.
+    JoinPairs(u64),
+    /// Sorted set of skyline points.
+    Points(Vec<Vec<i64>>),
+}
+
+impl QueryOutput {
+    /// Construct a normalized [`QueryOutput::Values`].
+    pub fn values(mut vals: Vec<Value>) -> Self {
+        vals.sort();
+        vals.dedup();
+        QueryOutput::Values(vals)
+    }
+
+    /// Construct a normalized [`QueryOutput::TopValues`].
+    pub fn top_values(mut vals: Vec<i64>) -> Self {
+        vals.sort_unstable_by(|a, b| b.cmp(a));
+        QueryOutput::TopValues(vals)
+    }
+
+    /// Construct a normalized [`QueryOutput::Points`].
+    pub fn points(mut pts: Vec<Vec<i64>>) -> Self {
+        pts.sort();
+        pts.dedup();
+        QueryOutput::Points(pts)
+    }
+
+    /// Rough output cardinality (rows/keys/points), for reports.
+    pub fn cardinality(&self) -> u64 {
+        match self {
+            QueryOutput::Count(_) | QueryOutput::JoinPairs(_) => 1,
+            QueryOutput::Values(v) => v.len() as u64,
+            QueryOutput::TopValues(v) => v.len() as u64,
+            QueryOutput::KeyedInts(m) => m.len() as u64,
+            QueryOutput::Points(p) => p.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_normalization() {
+        let a = QueryOutput::values(vec![Value::Int(2), Value::Int(1), Value::Int(2)]);
+        let b = QueryOutput::values(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_values_sorted_desc_with_duplicates() {
+        let t = QueryOutput::top_values(vec![3, 9, 9, 1]);
+        assert_eq!(t, QueryOutput::TopValues(vec![9, 9, 3, 1]));
+    }
+
+    #[test]
+    fn points_normalization() {
+        let a = QueryOutput::points(vec![vec![1, 2], vec![0, 0], vec![1, 2]]);
+        assert_eq!(a, QueryOutput::Points(vec![vec![0, 0], vec![1, 2]]));
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(DbQuery::Distinct { col: 0 }.kind(), "distinct");
+        assert!(DbQuery::Join { left_key: 0, right_key: 0 }.is_binary());
+        assert!(!DbQuery::Distinct { col: 0 }.is_binary());
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(QueryOutput::Count(5).cardinality(), 1);
+        assert_eq!(QueryOutput::values(vec![Value::Int(1), Value::Int(2)]).cardinality(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Link models with fault injection.
+//!
+//! Following the smoltcp examples' fault injector: a link can drop packets,
+//! corrupt one octet, and is shaped by a serialization rate. Everything is
+//! seeded, so lossy runs are exactly reproducible.
+
+use bytes::Bytes;
+use cheetah_switch::hash::mix64;
+use serde::{Deserialize, Serialize};
+
+/// Simulated nanoseconds.
+pub type SimTime = u64;
+
+/// Fault-injection knobs (probabilities in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Probability a packet is silently dropped.
+    pub drop_prob: f64,
+    /// Probability one octet of the packet is flipped (the checksum will
+    /// catch it at the receiver, turning it into an effective drop).
+    pub corrupt_prob: f64,
+}
+
+impl FaultProfile {
+    /// No faults.
+    pub fn lossless() -> Self {
+        Self { drop_prob: 0.0, corrupt_prob: 0.0 }
+    }
+
+    /// The smoltcp examples' "good starting value": 15% drop, 15% corrupt.
+    pub fn harsh() -> Self {
+        Self { drop_prob: 0.15, corrupt_prob: 0.15 }
+    }
+}
+
+/// A tiny deterministic RNG (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed ^ 0x5EED_0F_CAFE }
+    }
+
+    /// Next u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `0..n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A unidirectional link: serialization rate, propagation delay, faults.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Bits per second.
+    pub rate_bps: f64,
+    /// Propagation + processing delay in nanoseconds.
+    pub latency_ns: SimTime,
+    /// Fault profile.
+    pub faults: FaultProfile,
+    /// The time until which the wire is busy serializing earlier packets.
+    busy_until: SimTime,
+    rng: SimRng,
+    /// Packets dropped by fault injection.
+    pub dropped: u64,
+    /// Packets corrupted by fault injection.
+    pub corrupted: u64,
+}
+
+/// The outcome of offering a packet to a link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkOutcome {
+    /// Packet will arrive at `at` with the given bytes (possibly corrupted).
+    Deliver {
+        /// Arrival time.
+        at: SimTime,
+        /// The bytes that arrive.
+        bytes: Bytes,
+    },
+    /// Packet was dropped in flight.
+    Dropped,
+}
+
+impl Link {
+    /// A link with the given rate/latency/faults.
+    pub fn new(rate_bps: f64, latency_ns: SimTime, faults: FaultProfile, seed: u64) -> Self {
+        Self {
+            rate_bps,
+            latency_ns,
+            faults,
+            busy_until: 0,
+            rng: SimRng::new(seed),
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Convenience: a 10-gigabit link with 1 µs latency.
+    pub fn ten_gig(seed: u64) -> Self {
+        Self::new(10e9, 1_000, FaultProfile::lossless(), seed)
+    }
+
+    /// Offer a packet at `now`; the link serializes it (bytes padded with
+    /// frame overhead by the caller via `wire_bytes`), applies faults, and
+    /// reports the arrival.
+    pub fn offer(&mut self, now: SimTime, bytes: Bytes, wire_bytes: u64) -> LinkOutcome {
+        let start = now.max(self.busy_until);
+        let ser_ns = (wire_bytes as f64 * 8.0 / self.rate_bps * 1e9) as SimTime;
+        self.busy_until = start + ser_ns;
+        if self.rng.next_f64() < self.faults.drop_prob {
+            self.dropped += 1;
+            return LinkOutcome::Dropped;
+        }
+        let bytes = if self.rng.next_f64() < self.faults.corrupt_prob {
+            self.corrupted += 1;
+            let mut m = bytes.to_vec();
+            let i = self.rng.below(m.len().max(1));
+            if !m.is_empty() {
+                m[i] ^= 1 << self.rng.below(8);
+            }
+            Bytes::from(m)
+        } else {
+            bytes
+        };
+        LinkOutcome::Deliver { at: self.busy_until + self.latency_ns, bytes }
+    }
+
+    /// The time until which this link is serializing.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_f64_in_unit_interval() {
+        let mut r = SimRng::new(1);
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn lossless_link_delivers_in_order_with_serialization() {
+        let mut l = Link::new(8e9, 1_000, FaultProfile::lossless(), 0);
+        // 1000 bytes at 8 Gbps = 1 µs serialization.
+        let o1 = l.offer(0, Bytes::from_static(b"x"), 1000);
+        let o2 = l.offer(0, Bytes::from_static(b"y"), 1000);
+        match (o1, o2) {
+            (LinkOutcome::Deliver { at: a1, .. }, LinkOutcome::Deliver { at: a2, .. }) => {
+                assert_eq!(a1, 1_000 + 1_000);
+                assert_eq!(a2, 2_000 + 1_000, "second packet queues behind the first");
+            }
+            other => panic!("unexpected outcomes: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_rate_approximates_profile() {
+        let mut l =
+            Link::new(1e12, 0, FaultProfile { drop_prob: 0.3, corrupt_prob: 0.0 }, 42);
+        let n = 20_000;
+        let mut dropped = 0;
+        for i in 0..n {
+            if matches!(l.offer(i, Bytes::from_static(b"p"), 64), LinkOutcome::Dropped) {
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "measured drop rate {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut l =
+            Link::new(1e12, 0, FaultProfile { drop_prob: 0.0, corrupt_prob: 1.0 }, 9);
+        let orig = Bytes::from_static(b"hello world");
+        match l.offer(0, orig.clone(), 64) {
+            LinkOutcome::Deliver { bytes, .. } => {
+                let diff: u32 = orig
+                    .iter()
+                    .zip(bytes.iter())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(diff, 1);
+            }
+            LinkOutcome::Dropped => panic!("should not drop"),
+        }
+    }
+
+    #[test]
+    fn faster_link_finishes_sooner() {
+        let mut slow = Link::new(1e9, 0, FaultProfile::lossless(), 0);
+        let mut fast = Link::new(10e9, 0, FaultProfile::lossless(), 0);
+        for _ in 0..100 {
+            slow.offer(0, Bytes::from_static(b"p"), 125);
+            fast.offer(0, Bytes::from_static(b"p"), 125);
+        }
+        assert!(fast.busy_until() * 9 < slow.busy_until());
+    }
+}

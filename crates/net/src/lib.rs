@@ -1,0 +1,33 @@
+//! # cheetah-net — the Cheetah wire protocol and rack network simulator
+//!
+//! The paper's prototype moves entries over UDP with a custom header
+//! (Figure 4) and a reliability protocol in which **the switch itself
+//! ACKs the packets it prunes** (§7.2) — otherwise a worker could not
+//! distinguish a pruned packet from a lost one. This crate implements:
+//!
+//! * [`wire`] — the data/ACK/FIN packet formats with defensive parsing
+//!   and checksums (malformed packets are typed errors, never panics);
+//! * [`channel`] — seeded link models: serialization rate, latency, and
+//!   smoltcp-style fault injection (drop/corrupt probabilities);
+//! * [`reliability`] — the §7.2 state machines: the switch's
+//!   `Y = X+1 / Y ≤ X / Y > X+1` sequencing rules, the workers'
+//!   go-back-N window, the master's dedup;
+//! * [`transfer`] — a deterministic discrete-event simulation of the full
+//!   rack (`W` workers → switch → master) running any pruning function.
+//!
+//! Not modelled: real sockets/DPDK (everything is simulated time), IP
+//! fragmentation, and congestion control (the paper's channel is a
+//! dedicated rack fabric with token-bucket pacing at the senders).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod reliability;
+pub mod transfer;
+pub mod wire;
+
+pub use channel::{FaultProfile, Link, LinkOutcome, SimRng, SimTime};
+pub use reliability::{MasterFlow, SwitchAction, SwitchFlow, WorkerFlow};
+pub use transfer::{TransferConfig, TransferReport, TransferSim};
+pub use wire::{AckPacket, AckSource, DataPacket, Packet, WireError, MAX_VALUES};

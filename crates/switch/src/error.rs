@@ -1,0 +1,187 @@
+//! Error type shared by all switch components.
+
+use std::fmt;
+
+/// Errors raised by the switch simulator.
+///
+/// Resource errors are raised at *program build time* (when an algorithm
+/// tries to allocate more stages/ALUs/SRAM/TCAM/PHV than the
+/// [`SwitchProfile`](crate::profile::SwitchProfile) provides); discipline
+/// errors are raised at *packet time* when a program violates the PISA
+/// execution model (e.g. touching a register array twice for one packet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// Not enough ALUs left in the given stage.
+    AluExhausted {
+        /// Stage index the allocation targeted.
+        stage: usize,
+        /// ALUs requested.
+        requested: usize,
+        /// ALUs still available in that stage.
+        available: usize,
+    },
+    /// Not enough SRAM left in the given stage.
+    SramExhausted {
+        /// Stage index the allocation targeted.
+        stage: usize,
+        /// Bits requested.
+        requested_bits: u64,
+        /// Bits still available in that stage.
+        available_bits: u64,
+    },
+    /// Not enough TCAM entries left on the switch.
+    TcamExhausted {
+        /// Entries requested.
+        requested: usize,
+        /// Entries still available.
+        available: usize,
+    },
+    /// The packet header vector budget is exceeded.
+    PhvOverflow {
+        /// Bits requested.
+        requested: usize,
+        /// Bits still available.
+        available: usize,
+    },
+    /// A stage index beyond the pipeline length was referenced.
+    NoSuchStage {
+        /// The offending stage index.
+        stage: usize,
+        /// Number of stages in the profile.
+        stages: usize,
+    },
+    /// No contiguous run of stages satisfies the requested per-stage demand.
+    NoContiguousStages {
+        /// Stages requested.
+        requested: usize,
+    },
+    /// A register array was accessed twice while processing one packet.
+    ///
+    /// Real PISA hardware has a single read-modify-write port per stateful
+    /// ALU; a program that needs two accesses must allocate two arrays.
+    DoubleAccess {
+        /// Stage of the offending array.
+        stage: usize,
+    },
+    /// A register access used an epoch older than one already observed.
+    /// Epochs must be monotonically increasing (one per packet).
+    StaleEpoch {
+        /// The epoch supplied by the caller.
+        epoch: u64,
+        /// The last epoch the array has seen.
+        last: u64,
+    },
+    /// Register index out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The array depth.
+        depth: usize,
+    },
+    /// Register width outside the supported range (1..=64).
+    BadWidth {
+        /// The requested width in bits.
+        width: u32,
+    },
+    /// An operation not supported by switch ALUs was requested
+    /// (multiplication, division, logarithm, floating point, ...).
+    UnsupportedOp {
+        /// Human-readable operation name.
+        op: &'static str,
+    },
+    /// A packet carried more parsed values than the program declared.
+    BadPacketShape {
+        /// Values the program expected.
+        expected: usize,
+        /// Values the packet carried.
+        got: usize,
+    },
+    /// No program is installed for the given flow id.
+    NoProgramForFlow {
+        /// The flow id of the offending packet.
+        fid: u32,
+    },
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::AluExhausted { stage, requested, available } => write!(
+                f,
+                "stage {stage}: requested {requested} ALUs but only {available} available"
+            ),
+            Self::SramExhausted { stage, requested_bits, available_bits } => write!(
+                f,
+                "stage {stage}: requested {requested_bits} SRAM bits but only {available_bits} available"
+            ),
+            Self::TcamExhausted { requested, available } => {
+                write!(f, "requested {requested} TCAM entries but only {available} available")
+            }
+            Self::PhvOverflow { requested, available } => {
+                write!(f, "PHV overflow: requested {requested} bits, {available} available")
+            }
+            Self::NoSuchStage { stage, stages } => {
+                write!(f, "stage {stage} out of range (pipeline has {stages} stages)")
+            }
+            Self::NoContiguousStages { requested } => {
+                write!(f, "no contiguous run of {requested} stages satisfies the demand")
+            }
+            Self::DoubleAccess { stage } => {
+                write!(f, "register array in stage {stage} accessed twice for one packet")
+            }
+            Self::StaleEpoch { epoch, last } => {
+                write!(f, "stale epoch {epoch} (last seen {last}); epochs must increase")
+            }
+            Self::IndexOutOfBounds { index, depth } => {
+                write!(f, "register index {index} out of bounds (depth {depth})")
+            }
+            Self::BadWidth { width } => {
+                write!(f, "unsupported register width {width} (must be 1..=64)")
+            }
+            Self::UnsupportedOp { op } => {
+                write!(f, "operation `{op}` is not supported by switch ALUs")
+            }
+            Self::BadPacketShape { expected, got } => {
+                write!(f, "packet carried {got} values but the program expects {expected}")
+            }
+            Self::NoProgramForFlow { fid } => {
+                write!(f, "no program installed for flow id {fid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SwitchError::AluExhausted { stage: 3, requested: 5, available: 1 };
+        let s = e.to_string();
+        assert!(s.contains("stage 3"));
+        assert!(s.contains('5'));
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SwitchError::PhvOverflow { requested: 10, available: 4 },
+            SwitchError::PhvOverflow { requested: 10, available: 4 }
+        );
+        assert_ne!(
+            SwitchError::TcamExhausted { requested: 1, available: 0 },
+            SwitchError::PhvOverflow { requested: 1, available: 0 }
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(SwitchError::UnsupportedOp { op: "multiply" });
+        assert!(e.to_string().contains("multiply"));
+    }
+}

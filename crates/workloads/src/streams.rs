@@ -1,0 +1,232 @@
+//! Raw value streams for the pruning-rate simulations (Figures 10 and 11).
+//!
+//! Each generator returns the exact input shape one algorithm consumes:
+//! single values, `(key, value)` pairs, D-dimensional points, or two-table
+//! key streams. All are random-order (the paper's analysis assumes
+//! random-order streams; §5 notes storage order is optimized for
+//! performance, not adversarially) and deterministic in the seed.
+
+use cheetah_switch::hash::mix64;
+
+/// A stream of `m` values containing exactly `min(distinct, m)` distinct
+/// values, in random order — the DISTINCT/GROUP BY workload.
+pub fn duplicates_stream(m: usize, distinct: usize, seed: u64) -> Vec<u64> {
+    assert!(distinct > 0);
+    let d = distinct.min(m);
+    let mut out = Vec::with_capacity(m);
+    // Guarantee every distinct value appears at least once…
+    for v in 0..d {
+        out.push(encode_value(v as u64, seed));
+    }
+    // …then fill with zipf-free uniform repeats.
+    let mut x = seed ^ 0xD0_0D;
+    for _ in d..m {
+        x = mix64(x);
+        out.push(encode_value(x % d as u64, seed));
+    }
+    shuffle(&mut out, seed ^ 0x5417);
+    out
+}
+
+/// Skewed variant: repeats follow a rough zipf so hit rates mimic real
+/// key columns.
+pub fn skewed_duplicates_stream(m: usize, distinct: usize, s: f64, seed: u64) -> Vec<u64> {
+    let d = distinct.min(m).max(1);
+    let mut z = crate::zipf::Zipf::new(d, s, seed);
+    let mut out = Vec::with_capacity(m);
+    for v in 0..d.min(m) {
+        out.push(encode_value(v as u64, seed));
+    }
+    for _ in d.min(m)..m {
+        out.push(encode_value(z.sample() as u64, seed));
+    }
+    shuffle(&mut out, seed ^ 0x5417);
+    out
+}
+
+/// Uniform random values in `0..range` — the TOP-N workload.
+pub fn random_values(m: usize, range: u64, seed: u64) -> Vec<u64> {
+    let mut x = seed ^ 0x70B4;
+    (0..m)
+        .map(|_| {
+            x = mix64(x);
+            x % range.max(1)
+        })
+        .collect()
+}
+
+/// `(key, value)` pairs with `distinct` keys and uniform values — the
+/// GROUP BY workload.
+pub fn keyed_values(m: usize, distinct: usize, value_range: u64, seed: u64) -> Vec<[u64; 2]> {
+    let mut x = seed ^ 0x6B0B;
+    (0..m)
+        .map(|_| {
+            x = mix64(x);
+            let k = encode_value(x % distinct.max(1) as u64, seed);
+            x = mix64(x);
+            [k, x % value_range.max(1)]
+        })
+        .collect()
+}
+
+/// `(key, revenue)` pairs where keys are zipfian and a small fraction of
+/// keys accumulate sums above any fixed threshold — the HAVING workload
+/// (query 7: languages with > $1M ad revenue).
+pub fn revenue_stream(m: usize, keys: usize, seed: u64) -> Vec<[u64; 2]> {
+    let mut z = crate::zipf::Zipf::new(keys.max(1), 1.1, seed);
+    let mut x = seed ^ 0x4EAE;
+    (0..m)
+        .map(|_| {
+            let k = encode_value(z.sample() as u64, seed);
+            x = mix64(x);
+            [k, x % 100]
+        })
+        .collect()
+}
+
+/// Uniform `D`-dimensional points in `1..=range` per coordinate — the
+/// SKYLINE workload.
+pub fn points_stream(m: usize, dims: usize, range: u64, seed: u64) -> Vec<Vec<u64>> {
+    let mut x = seed ^ 0x5C11;
+    (0..m)
+        .map(|_| {
+            (0..dims)
+                .map(|_| {
+                    x = mix64(x);
+                    x % range.max(1) + 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Two key streams with a controlled match fraction — the JOIN workload.
+/// Returns `(keys_a, keys_b)`; about `match_fraction` of `b`'s keys also
+/// appear in `a`.
+pub fn join_streams(
+    n_a: usize,
+    n_b: usize,
+    match_fraction: f64,
+    seed: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let a: Vec<u64> = (0..n_a).map(|i| encode_value(i as u64, seed)).collect();
+    let mut x = seed ^ 0x10_1;
+    let b: Vec<u64> = (0..n_b)
+        .map(|i| {
+            x = mix64(x);
+            let u = ((x >> 8) as f64) / ((1u64 << 56) as f64);
+            let matching = u < match_fraction;
+            if matching && n_a > 0 {
+                a[(x % n_a as u64) as usize]
+            } else {
+                // Disjoint universe.
+                encode_value((1 << 40) + i as u64, seed)
+            }
+        })
+        .collect();
+    (a, b)
+}
+
+/// Map a small dense id to a 63-bit pseudo-value (so streams look like
+/// hashed column data rather than `0..d` integers), keeping injectivity.
+fn encode_value(v: u64, seed: u64) -> u64 {
+    mix64(v ^ seed.rotate_left(17)) >> 1
+}
+
+/// Seeded Fisher–Yates.
+fn shuffle(xs: &mut [u64], seed: u64) {
+    let mut y = seed;
+    for i in (1..xs.len()).rev() {
+        y = mix64(y);
+        xs.swap(i, (y % (i as u64 + 1)) as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn duplicates_stream_has_exact_distinct_count() {
+        let s = duplicates_stream(10_000, 300, 1);
+        let set: HashSet<u64> = s.iter().copied().collect();
+        assert_eq!(set.len(), 300);
+        assert_eq!(s.len(), 10_000);
+    }
+
+    #[test]
+    fn duplicates_stream_small_m() {
+        let s = duplicates_stream(5, 300, 1);
+        let set: HashSet<u64> = s.iter().copied().collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn skewed_stream_is_skewed() {
+        let s = skewed_duplicates_stream(50_000, 100, 1.2, 3);
+        let mut counts = std::collections::HashMap::new();
+        for v in &s {
+            *counts.entry(*v).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let min = counts.values().min().copied().unwrap();
+        assert!(max > min * 20, "max {max}, min {min}");
+    }
+
+    #[test]
+    fn random_values_in_range() {
+        for v in random_values(10_000, 1000, 2) {
+            assert!(v < 1000);
+        }
+    }
+
+    #[test]
+    fn keyed_values_shape() {
+        let kv = keyed_values(1_000, 50, 10_000, 4);
+        let keys: HashSet<u64> = kv.iter().map(|p| p[0]).collect();
+        assert!(keys.len() <= 50);
+        assert!(keys.len() > 30, "most keys should appear");
+    }
+
+    #[test]
+    fn revenue_totals_cross_thresholds_unevenly() {
+        let rv = revenue_stream(100_000, 200, 5);
+        let mut sums = std::collections::HashMap::new();
+        for [k, v] in &rv {
+            *sums.entry(*k).or_insert(0u64) += v;
+        }
+        let threshold = 100_000;
+        let over = sums.values().filter(|&&s| s > threshold).count();
+        assert!(over >= 1, "some keys must qualify");
+        assert!(over < sums.len() / 2, "but not most ({over}/{})", sums.len());
+    }
+
+    #[test]
+    fn points_stream_shape() {
+        let pts = points_stream(100, 3, 1000, 6);
+        assert_eq!(pts.len(), 100);
+        assert!(pts.iter().all(|p| p.len() == 3 && p.iter().all(|&x| (1..=1000).contains(&x))));
+    }
+
+    #[test]
+    fn join_streams_match_fraction() {
+        let (a, b) = join_streams(5_000, 20_000, 0.3, 7);
+        let set: HashSet<u64> = a.iter().copied().collect();
+        let matches = b.iter().filter(|k| set.contains(k)).count();
+        let frac = matches as f64 / b.len() as f64;
+        assert!((frac - 0.3).abs() < 0.03, "match fraction {frac}");
+    }
+
+    #[test]
+    fn encode_value_is_injective_on_small_domain() {
+        let vals: HashSet<u64> = (0..100_000u64).map(|v| encode_value(v, 9)).collect();
+        assert_eq!(vals.len(), 100_000);
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        assert_eq!(duplicates_stream(1000, 10, 42), duplicates_stream(1000, 10, 42));
+        assert_eq!(points_stream(10, 2, 5, 1), points_stream(10, 2, 5, 1));
+    }
+}

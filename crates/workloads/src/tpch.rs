@@ -1,0 +1,183 @@
+//! A TPC-H subset shaped for query Q3 (§8.1: two joins, three filters, a
+//! group-by and a top-N; the paper offloads the join, which takes 67% of
+//! the query's time).
+//!
+//! Tables (simplified to the columns Q3 touches):
+//!
+//! * `customer(custkey, mktsegment)`
+//! * `orders(orderkey, custkey, orderdate, shippriority)`
+//! * `lineitem(orderkey, extendedprice, shipdate)`
+
+use cheetah_db::{DataType, Table, TableBuilder, Value};
+use cheetah_switch::hash::mix64;
+
+/// Scale configuration (TPC-H SF-0.01-ish by default; scale up as needed).
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Customers.
+    pub customers: usize,
+    /// Orders (≈ 10× customers in real TPC-H).
+    pub orders: usize,
+    /// Line items (≈ 4× orders).
+    pub lineitems: usize,
+    /// Partitions per table.
+    pub partitions: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        Self { customers: 1_500, orders: 15_000, lineitems: 60_000, partitions: 5, seed: 0x79C4 }
+    }
+}
+
+/// The five market segments of TPC-H.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+impl TpchConfig {
+    /// `customer(custkey, mktsegment)`.
+    pub fn customer(&self) -> Table {
+        let mut b = TableBuilder::new(
+            "customer",
+            vec![("custkey".into(), DataType::Int), ("mktsegment".into(), DataType::Str)],
+            self.customers.div_ceil(self.partitions).max(1),
+        );
+        let mut x = self.seed ^ 0xC057;
+        for k in 0..self.customers {
+            x = mix64(x);
+            let seg = SEGMENTS[(x % SEGMENTS.len() as u64) as usize];
+            b.push_row(vec![Value::Int(k as i64), Value::Str(seg.to_string())]);
+        }
+        b.build()
+    }
+
+    /// `orders(orderkey, custkey, orderdate, shippriority)`.
+    pub fn orders(&self) -> Table {
+        let mut b = TableBuilder::new(
+            "orders",
+            vec![
+                ("orderkey".into(), DataType::Int),
+                ("custkey".into(), DataType::Int),
+                ("orderdate".into(), DataType::Int),
+                ("shippriority".into(), DataType::Int),
+            ],
+            self.orders.div_ceil(self.partitions).max(1),
+        );
+        let mut x = self.seed ^ 0x04DE;
+        for k in 0..self.orders {
+            x = mix64(x);
+            let cust = (x % self.customers.max(1) as u64) as i64;
+            x = mix64(x);
+            // Dates as yyyymmdd-ish integers around 1995-03-15 (Q3's cut).
+            let date = 19_950_000 + (x % 700) as i64;
+            b.push_row(vec![
+                Value::Int(k as i64),
+                Value::Int(cust),
+                Value::Int(date),
+                Value::Int(0),
+            ]);
+        }
+        b.build()
+    }
+
+    /// `lineitem(orderkey, extendedprice, shipdate)`. Only ~40% of orders
+    /// have line items in the Q3 date window, giving the join real
+    /// pruning opportunity.
+    pub fn lineitem(&self) -> Table {
+        let mut b = TableBuilder::new(
+            "lineitem",
+            vec![
+                ("orderkey".into(), DataType::Int),
+                ("extendedprice".into(), DataType::Int),
+                ("shipdate".into(), DataType::Int),
+            ],
+            self.lineitems.div_ceil(self.partitions).max(1),
+        );
+        let mut x = self.seed ^ 0x11E1;
+        for _ in 0..self.lineitems {
+            x = mix64(x);
+            // Line items reference a subset of the order keys (some orders
+            // fall outside the window / were filtered upstream).
+            let order = (x % (self.orders.max(1) as u64 * 5 / 2)) as i64;
+            x = mix64(x);
+            let price = (x % 90_000) as i64 + 10_000;
+            x = mix64(x);
+            let ship = 19_950_000 + (x % 700) as i64;
+            b.push_row(vec![Value::Int(order), Value::Int(price), Value::Int(ship)]);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shapes() {
+        let cfg = TpchConfig::default();
+        assert_eq!(cfg.customer().rows(), 1_500);
+        assert_eq!(cfg.orders().rows(), 15_000);
+        assert_eq!(cfg.lineitem().rows(), 60_000);
+    }
+
+    #[test]
+    fn orders_reference_existing_customers() {
+        let cfg = TpchConfig { customers: 100, orders: 1_000, ..Default::default() };
+        let o = cfg.orders();
+        for p in o.partitions() {
+            for &c in p.column(1).as_int().unwrap() {
+                assert!((0..100).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn lineitem_join_is_partial() {
+        // Some lineitem orderkeys fall outside the orders table — the join
+        // must have something to prune.
+        let cfg = TpchConfig::default();
+        let orders: HashSet<i64> = cfg
+            .orders()
+            .partitions()
+            .iter()
+            .flat_map(|p| p.column(0).as_int().unwrap().iter().copied())
+            .collect();
+        let l = cfg.lineitem();
+        let (mut hit, mut miss) = (0u64, 0u64);
+        for p in l.partitions() {
+            for &k in p.column(0).as_int().unwrap() {
+                if orders.contains(&k) {
+                    hit += 1;
+                } else {
+                    miss += 1;
+                }
+            }
+        }
+        assert!(hit > 0 && miss > 0, "hit {hit}, miss {miss}");
+        // Roughly 40% of lineitem keys should match (orders/2.5).
+        let frac = hit as f64 / (hit + miss) as f64;
+        assert!((0.25..0.55).contains(&frac), "match fraction {frac}");
+    }
+
+    #[test]
+    fn segments_cover_all_five() {
+        let cfg = TpchConfig::default();
+        let segs: HashSet<String> = cfg
+            .customer()
+            .partitions()
+            .iter()
+            .flat_map(|p| p.column(1).as_str().unwrap().iter().cloned())
+            .collect();
+        assert_eq!(segs.len(), 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TpchConfig::default().lineitem();
+        let b = TpchConfig::default().lineitem();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! A seeded Zipf sampler.
+//!
+//! Benchmark columns like `userAgent` and `languageCode` are heavily
+//! skewed; Zipf(s) over a fixed universe reproduces that. Implemented with
+//! a precomputed CDF and binary search — O(log n) per sample, exact, and
+//! dependent only on the seed.
+
+use cheetah_switch::hash::mix64;
+
+/// Zipf-distributed sampler over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    state: u64,
+}
+
+impl Zipf {
+    /// Universe size `n`, exponent `s` (s = 0 is uniform; s ≈ 1 classic).
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf, state: seed ^ 0x217F }
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (mix64(self.state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Draw one rank in `0..n` (0 is the most popular).
+    pub fn sample(&mut self) -> usize {
+        let u = self.next_f64();
+        // First index with cdf >= u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_range() {
+        let mut z = Zipf::new(100, 1.0, 7);
+        for _ in 0..10_000 {
+            assert!(z.sample() < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut z = Zipf::new(1000, 1.1, 3);
+        let mut counts = vec![0u64; 1000];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample()] += 1;
+        }
+        // Rank 0 should dominate rank 99 by roughly (100/1)^1.1 ≈ 158.
+        assert!(counts[0] > counts[99] * 20, "{} vs {}", counts[0], counts[99]);
+        // And the head should hold a large share.
+        let head: u64 = counts[..10].iter().sum();
+        assert!(head as f64 / n as f64 > 0.25, "head share {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn s_zero_is_roughly_uniform() {
+        let mut z = Zipf::new(10, 0.0, 11);
+        let mut counts = vec![0u64; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample()] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.1).abs() < 0.02, "bucket frequency {f}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = Zipf::new(50, 1.0, 9);
+        let mut b = Zipf::new(50, 1.0, 9);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Multi-query packing (§6): one switch, several live queries, no
+//! recompilation.
+//!
+//! An "interactive dashboard" keeps three standing queries — a filter, a
+//! DISTINCT, and a MAX group-by — packed on a single dataplane. Flows are
+//! bound per query; the pipeline runs every program on each packet and
+//! selects the bound query's prune bit, exactly as §6 describes. The
+//! example prints the combined resource bill (stages/ALUs/SRAM/rules), the
+//! sub-millisecond rule-install time, and live per-query pruning stats.
+//!
+//! ```sh
+//! cargo run --release --example interactive_dashboard
+//! ```
+
+use cheetah::algorithms::{
+    AggKind, AtomSpec, BoolExpr, CmpOp, DistinctConfig, EvictionPolicy, ExternalMode,
+    FilterConfig, GroupByConfig, PackedQueries, Predicate, QuerySpec,
+};
+use cheetah::switch::hash::mix64;
+use cheetah::switch::SwitchProfile;
+
+fn main() {
+    // Three standing queries for the dashboard.
+    let specs = vec![
+        // Flow 0: SELECT * WHERE latency_ms > 250 (an alerting filter).
+        QuerySpec::Filter(FilterConfig {
+            atoms: vec![AtomSpec::Switch(Predicate { col: 0, op: CmpOp::Gt, constant: 250 })],
+            expr: BoolExpr::Atom(0),
+            external_mode: ExternalMode::Tautology,
+        }),
+        // Flow 1: SELECT DISTINCT client_id (who is online?).
+        QuerySpec::Distinct(DistinctConfig {
+            rows: 2048,
+            cols: 2,
+            policy: EvictionPolicy::Lru,
+            fingerprint: None,
+            seed: 7,
+        }),
+        // Flow 2: SELECT region, MAX(latency_ms) GROUP BY region.
+        QuerySpec::GroupBy(GroupByConfig {
+            rows: 1024,
+            cols: 4,
+            agg: AggKind::Max,
+            key_bits: 31,
+            seed: 8,
+        }),
+    ];
+
+    let profile = SwitchProfile::tofino2();
+    let mut packed = PackedQueries::pack(&specs, profile).expect("queries fit one dataplane");
+    println!("packed {} queries on one dataplane:", specs.len());
+    let u = packed.usage;
+    println!(
+        "  stages {}  ALUs {}  SRAM {:.1} KB  TCAM {}  rules {}",
+        u.stages_used,
+        u.alus,
+        u.sram_kb(),
+        u.tcam_entries,
+        u.rules
+    );
+    println!(
+        "  rule install: {:?} (paper: tens of rules, < 1 ms)\n",
+        packed.install_time
+    );
+
+    // Simulate the dashboard's live traffic: interleaved packets of the
+    // three flows. §6 semantics: every program sees every packet; the
+    // bound program's bit decides.
+    let mut x = 42u64;
+    for i in 0..300_000u64 {
+        x = mix64(x);
+        match i % 3 {
+            0 => {
+                // filter flow: [latency_ms]
+                let latency = x % 400;
+                packed.pipeline.process_all(0, &[latency]).expect("run");
+            }
+            1 => {
+                // distinct flow: [client_id]
+                let client = x % 5_000;
+                packed.pipeline.process_all(1, &[client]).expect("run");
+            }
+            _ => {
+                // group-by flow: [region, latency_ms]
+                let region = x % 32;
+                packed.pipeline.process_all(2, &[region, (x >> 32) % 400]).expect("run");
+            }
+        }
+    }
+
+    println!("{:<28} {:>10} {:>10} {:>9}", "query", "seen", "forwarded", "pruned%");
+    println!("{}", "-".repeat(62));
+    for (name, id) in
+        ["filter latency>250", "distinct client_id", "max latency by region"]
+            .iter()
+            .zip(&packed.programs)
+    {
+        let s = packed.pipeline.stats(*id);
+        println!(
+            "{:<28} {:>10} {:>10} {:>8.1}%",
+            name,
+            s.seen,
+            s.forwarded,
+            s.pruned_fraction() * 100.0
+        );
+    }
+    println!("\nall three ran concurrently without reprogramming the switch (§6)");
+}

@@ -1,0 +1,70 @@
+//! # Cheetah — accelerating database queries with switch pruning
+//!
+//! A from-scratch Rust reproduction of *"Cheetah: Accelerating Database
+//! Queries with Switch Pruning"* (SIGCOMM 2019; full version
+//! arXiv:2004.05076). Cheetah offloads part of query processing to a
+//! programmable switch sitting between database workers and the master:
+//! the switch **prunes** — drops entries that provably cannot affect the
+//! query output — and the master completes the unchanged query on the
+//! survivors, so `Q(A_Q(D)) = Q(D)` by construction.
+//!
+//! This facade crate re-exports the five subsystems:
+//!
+//! * [`switch`] — a PISA dataplane simulator that *enforces* the resource
+//!   constraints the paper designs around (stages, ALUs, SRAM, TCAM, PHV,
+//!   one register access per packet, no multiply/divide/log);
+//! * [`algorithms`] — the pruning algorithms themselves (filtering,
+//!   DISTINCT, TOP N, GROUP BY, JOIN, HAVING, SKYLINE) plus the planner
+//!   and the paper's closed-form analysis;
+//! * [`db`] — a columnar, partition-parallel mini query engine with a
+//!   Spark-like worker/master split and a Cheetah execution path;
+//! * [`net`] — the Cheetah wire format and the §7.2 reliability protocol
+//!   (the switch ACKs what it prunes) over a fault-injected link
+//!   simulator;
+//! * [`workloads`] — seeded generators for the Big Data benchmark, a
+//!   TPC-H subset, and the pruning-rate simulation streams.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cheetah::db::{Cluster, DbQuery, TableBuilder, Value, DataType};
+//!
+//! // A tiny table of (seller, price) rows — the paper's running example.
+//! let mut b = TableBuilder::new(
+//!     "products",
+//!     vec![("seller".into(), DataType::Str), ("price".into(), DataType::Int)],
+//!     2,
+//! );
+//! for (s, p) in [("McCheetah", 4), ("Papizza", 7), ("McCheetah", 2), ("JellyFish", 5)] {
+//!     b.push_row(vec![Value::Str(s.into()), Value::Int(p)]);
+//! }
+//! let table = b.build();
+//!
+//! // SELECT DISTINCT seller — baseline vs switch-pruned.
+//! let cluster = Cluster::default();
+//! let q = DbQuery::Distinct { col: 0 };
+//! let spark = cluster.run_baseline(&q, &table, None);
+//! let cheetah = cluster.run_cheetah(&q, &table, None).unwrap();
+//! assert_eq!(spark.output, cheetah.output); // the pruning contract
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `cheetah-experiments` (in `crates/bench`) for the harness regenerating
+//! every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+/// The PISA switch simulator (`cheetah-switch`).
+pub use cheetah_switch as switch;
+
+/// The pruning algorithms and planner (`cheetah-core`).
+pub use cheetah_core as algorithms;
+
+/// The mini query engine (`cheetah-db`).
+pub use cheetah_db as db;
+
+/// Wire format, reliability protocol, link simulator (`cheetah-net`).
+pub use cheetah_net as net;
+
+/// Benchmark data generators (`cheetah-workloads`).
+pub use cheetah_workloads as workloads;

@@ -1,0 +1,151 @@
+//! Integration tests for the §9 extensions: multi-entry packets and the
+//! switch hierarchy, exercised across crates.
+
+use cheetah::algorithms::batch::{BatchedDistinct, BatchedDistinctConfig};
+use cheetah::algorithms::hierarchy::MultiSwitch;
+use cheetah::algorithms::{DistinctConfig, DistinctPruner, EvictionPolicy, QuerySpec,
+    StandalonePruner};
+use cheetah::switch::hash::mix64;
+use cheetah::switch::{ResourceLedger, SwitchProfile, Verdict};
+use cheetah::workloads::streams;
+use std::collections::HashSet;
+
+#[test]
+fn batched_distinct_matches_single_entry_output_set() {
+    // The set of *values* that reach the master must be identical whether
+    // entries travel one per packet or eight per packet.
+    let stream = streams::skewed_duplicates_stream(50_000, 800, 1.0, 0xE81);
+    let mk_single = || {
+        let mut ledger = ResourceLedger::new(SwitchProfile::tofino2());
+        StandalonePruner::new(
+            DistinctPruner::build(
+                DistinctConfig {
+                    rows: 1024,
+                    cols: 2,
+                    policy: EvictionPolicy::Lru,
+                    fingerprint: None,
+                    seed: 0xBA,
+                },
+                &mut ledger,
+            )
+            .unwrap(),
+        )
+    };
+    let mut single = mk_single();
+    let mut single_out: HashSet<u64> = HashSet::new();
+    for &v in &stream {
+        if single.offer(&[v]).unwrap() == Verdict::Forward {
+            single_out.insert(v);
+        }
+    }
+    let mut ledger = ResourceLedger::new(SwitchProfile::tofino2());
+    let mut batched = BatchedDistinct::build(
+        BatchedDistinctConfig { rows: 1024, cols: 2, batch: 8, seed: 0xBA },
+        &mut ledger,
+    )
+    .unwrap();
+    let mut batch_out: HashSet<u64> = HashSet::new();
+    for chunk in stream.chunks(8) {
+        let verdicts = batched.process_batch(chunk).unwrap();
+        for (v, verdict) in chunk.iter().zip(&verdicts.0) {
+            if !verdict.is_prune() {
+                batch_out.insert(*v);
+            }
+        }
+    }
+    // Both must cover every distinct value (DISTINCT correctness)…
+    let all: HashSet<u64> = stream.iter().copied().collect();
+    assert_eq!(single_out, all);
+    assert_eq!(batch_out, all);
+}
+
+#[test]
+fn batched_distinct_prunes_comparably() {
+    let stream = streams::skewed_duplicates_stream(80_000, 500, 1.2, 0xE82);
+    let run = |batch: usize| {
+        let mut ledger = ResourceLedger::new(SwitchProfile::tofino2());
+        let mut b = BatchedDistinct::build(
+            BatchedDistinctConfig { rows: 2048, cols: 2, batch, seed: 3 },
+            &mut ledger,
+        )
+        .unwrap();
+        let mut fwd = 0u64;
+        for chunk in stream.chunks(batch) {
+            fwd += b.process_batch(chunk).unwrap().survivors() as u64;
+        }
+        fwd as f64 / stream.len() as f64
+    };
+    let single = run(1);
+    let batched = run(8);
+    assert!(
+        (batched - single).abs() < 0.05,
+        "batching should barely change pruning: {single} vs {batched}"
+    );
+}
+
+#[test]
+fn hierarchy_end_to_end_distinct_exactness() {
+    // The full §9 topology must still deliver every distinct value.
+    let spec = QuerySpec::Distinct(DistinctConfig {
+        rows: 128,
+        cols: 2,
+        policy: EvictionPolicy::Lru,
+        fingerprint: None,
+        seed: 0,
+    });
+    let mut h = MultiSwitch::build(&spec, 5, &SwitchProfile::tofino1(), 0xE83).unwrap();
+    let mut x = 1u64;
+    let mut delivered: HashSet<u64> = HashSet::new();
+    let mut all: HashSet<u64> = HashSet::new();
+    for _ in 0..40_000 {
+        x = mix64(x);
+        let v = x % 3_000;
+        all.insert(v);
+        if h.offer(&[v]).unwrap() == Verdict::Forward {
+            delivered.insert(v);
+        }
+    }
+    assert_eq!(delivered, all, "hierarchy lost a distinct value");
+    // And the two levels actually share the load.
+    assert!(h.leaf_stats().pruned > 0, "leaves should prune");
+    assert!(h.root_stats().pruned > 0, "root should prune leaf false-negatives");
+}
+
+#[test]
+fn hierarchy_scales_with_leaf_count() {
+    let spec = QuerySpec::Distinct(DistinctConfig {
+        rows: 64,
+        cols: 2,
+        policy: EvictionPolicy::Lru,
+        fingerprint: None,
+        seed: 0,
+    });
+    let stream = streams::duplicates_stream(60_000, 2_000, 0xE84);
+    let mut fractions = Vec::new();
+    for leaves in [1usize, 4, 16] {
+        let mut h = MultiSwitch::build(&spec, leaves, &SwitchProfile::tofino1(), 7).unwrap();
+        for &v in &stream {
+            h.offer(&[v]).unwrap();
+        }
+        fractions.push(h.unpruned_fraction());
+    }
+    assert!(
+        fractions[2] < fractions[0],
+        "16 leaves must beat 1 leaf: {fractions:?}"
+    );
+}
+
+#[test]
+fn multiport_registers_respect_port_budget() {
+    // The substrate rule behind batching: an array built with k ports
+    // rejects the k+1-th access in one packet.
+    let mut ledger = ResourceLedger::new(SwitchProfile::tofino2());
+    let mut arr = ledger.register_array_multiport(0, 8, 64, 3).unwrap();
+    let epoch = 1;
+    for i in 0..3 {
+        arr.rmw(epoch, i, |v| v + 1).unwrap();
+    }
+    assert!(arr.rmw(epoch, 3, |v| v).is_err(), "fourth access must be rejected");
+    // A new packet resets the budget.
+    arr.rmw(2, 0, |v| v).unwrap();
+}

@@ -1,0 +1,160 @@
+//! The central correctness property of the paper, checked across the whole
+//! stack: for every query `Q` and dataset `D`, running `Q` on the pruned
+//! data equals running it on the original — `Q(A_Q(D)) = Q(D)` (§3).
+//!
+//! Property-based: tables are generated from arbitrary seeds/shapes and
+//! every query shape is executed on both paths.
+
+use cheetah::db::{Cluster, DataType, DbPredicate, DbQuery, IntCmp, LikePattern, Table,
+    TableBuilder, Value};
+use cheetah::switch::hash::mix64;
+use proptest::prelude::*;
+
+/// Deterministic random table: `rows` rows, `keys` distinct string keys,
+/// two int columns with ranges derived from the seed.
+fn gen_table(rows: usize, keys: u64, partitions: usize, seed: u64) -> Table {
+    let mut b = TableBuilder::new(
+        "t",
+        vec![
+            ("key".into(), DataType::Str),
+            ("a".into(), DataType::Int),
+            ("b".into(), DataType::Int),
+        ],
+        rows.div_ceil(partitions).max(1),
+    );
+    let mut x = seed | 1;
+    for _ in 0..rows {
+        x = mix64(x);
+        let k = format!("key-{}", x % keys.max(1));
+        x = mix64(x);
+        let a = (x % 10_000) as i64;
+        x = mix64(x);
+        let bb = (x % 500) as i64;
+        b.push_row(vec![Value::Str(k), Value::Int(a), Value::Int(bb)]);
+    }
+    b.build()
+}
+
+fn queries(threshold: i64) -> Vec<DbQuery> {
+    vec![
+        DbQuery::FilterCount {
+            pred: DbPredicate::Or(vec![
+                DbPredicate::CmpInt { col: 1, op: IntCmp::Gt, lit: 9_000 },
+                DbPredicate::And(vec![
+                    DbPredicate::CmpInt { col: 2, op: IntCmp::Lt, lit: 50 },
+                    DbPredicate::Like { col: 0, pattern: LikePattern::parse("key-1%") },
+                ]),
+            ]),
+        },
+        DbQuery::Distinct { col: 0 },
+        DbQuery::TopN { order_col: 1, n: 17 },
+        DbQuery::GroupByMax { key_col: 0, val_col: 1 },
+        DbQuery::Skyline { cols: vec![1, 2] },
+        DbQuery::HavingSum { key_col: 0, val_col: 1, threshold },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn unary_queries_pruning_contract(
+        seed in any::<u64>(),
+        rows in 200usize..1_500,
+        keys in 1u64..200,
+        partitions in 1usize..6,
+    ) {
+        let cluster = Cluster::default();
+        let table = gen_table(rows, keys, partitions, seed);
+        let threshold = (rows as i64) * 20;
+        for q in queries(threshold) {
+            let base = cluster.run_baseline(&q, &table, None);
+            let chee = cluster.run_cheetah(&q, &table, None).expect("plan fits");
+            prop_assert_eq!(
+                base.output,
+                chee.output,
+                "query {} diverged (seed {}, rows {}, keys {})",
+                q.kind(),
+                seed,
+                rows,
+                keys
+            );
+        }
+    }
+
+    #[test]
+    fn join_pruning_contract(
+        seed in any::<u64>(),
+        rows_l in 100usize..800,
+        rows_r in 100usize..800,
+        keys in 1u64..300,
+    ) {
+        let cluster = Cluster::default();
+        let left = gen_table(rows_l, keys, 3, seed);
+        let right = gen_table(rows_r, keys.saturating_mul(2).max(1), 2, seed ^ 0xFF);
+        let q = DbQuery::Join { left_key: 0, right_key: 0 };
+        let base = cluster.run_baseline(&q, &left, Some(&right));
+        let chee = cluster.run_cheetah(&q, &left, Some(&right)).expect("plan fits");
+        prop_assert_eq!(base.output, chee.output);
+    }
+
+    #[test]
+    fn repartitioning_is_invisible(
+        seed in any::<u64>(),
+        rows in 100usize..600,
+        parts_a in 1usize..5,
+        parts_b in 5usize..9,
+    ) {
+        // Figure 6 varies workers; outputs must be invariant on both paths.
+        let cluster = Cluster::default();
+        let table = gen_table(rows, 40, parts_a, seed);
+        let re = table.repartition(parts_b);
+        for q in [DbQuery::Distinct { col: 0 }, DbQuery::TopN { order_col: 1, n: 9 }] {
+            let a = cluster.run_cheetah(&q, &table, None).expect("plan").output;
+            let b = cluster.run_cheetah(&q, &re, None).expect("plan").output;
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn empty_table_all_queries() {
+    let cluster = Cluster::default();
+    let table = gen_table(0, 1, 1, 7);
+    for q in queries(10) {
+        let base = cluster.run_baseline(&q, &table, None);
+        let chee = cluster.run_cheetah(&q, &table, None).expect("plan fits");
+        assert_eq!(base.output, chee.output, "{} on empty table", q.kind());
+    }
+}
+
+#[test]
+fn single_row_table_all_queries() {
+    let cluster = Cluster::default();
+    let table = gen_table(1, 1, 1, 9);
+    for q in queries(0) {
+        let base = cluster.run_baseline(&q, &table, None);
+        let chee = cluster.run_cheetah(&q, &table, None).expect("plan fits");
+        assert_eq!(base.output, chee.output, "{} on single row", q.kind());
+    }
+}
+
+#[test]
+fn all_identical_rows() {
+    // Degenerate distributions stress the dedup paths.
+    let mut b = TableBuilder::new(
+        "t",
+        vec![("key".into(), DataType::Str), ("a".into(), DataType::Int), ("b".into(), DataType::Int)],
+        10,
+    );
+    for _ in 0..500 {
+        b.push_row(vec![Value::Str("same".into()), Value::Int(5), Value::Int(5)]);
+    }
+    let table = b.build();
+    let cluster = Cluster::default();
+    for q in queries(100) {
+        let base = cluster.run_baseline(&q, &table, None);
+        let chee = cluster.run_cheetah(&q, &table, None).expect("plan fits");
+        assert_eq!(base.output, chee.output, "{} on constant table", q.kind());
+    }
+}

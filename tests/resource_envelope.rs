@@ -1,0 +1,161 @@
+//! Resource-envelope claims of the paper, checked against the simulator's
+//! enforcement: the default algorithm configurations fit a Tofino, whole
+//! benchmark mixes pack onto one dataplane with < 100 rules (§6/§7.1), and
+//! over-sized configurations fail with precise errors instead of silently
+//! fitting.
+
+use cheetah::algorithms::{
+    planner, AtomSpec, BoolExpr, CmpOp, DistinctConfig, EvictionPolicy,
+    ExternalMode, FilterConfig, GroupByConfig, HavingConfig, JoinConfig, PackedQueries,
+    Predicate, QuerySpec, SkylineConfig, SkylinePolicy, TopNDetConfig, TopNRandConfig,
+};
+use cheetah::switch::{SwitchError, SwitchProfile};
+use std::time::Duration;
+
+fn all_paper_defaults() -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::Filter(FilterConfig::paper_example(ExternalMode::Tautology)),
+        QuerySpec::Distinct(DistinctConfig::paper_default()),
+        QuerySpec::TopNDet(TopNDetConfig::paper_default()),
+        QuerySpec::TopNRand(TopNRandConfig::paper_default()),
+        QuerySpec::GroupBy(GroupByConfig::paper_default()),
+        QuerySpec::Join(JoinConfig::paper_default()),
+        QuerySpec::Having(HavingConfig::paper_default(1_000_000)),
+        QuerySpec::Skyline(SkylineConfig::paper_default(SkylinePolicy::Sum)),
+    ]
+}
+
+#[test]
+fn every_default_configuration_fits_tofino2() {
+    for spec in all_paper_defaults() {
+        let plan = planner::plan(&spec, SwitchProfile::tofino2())
+            .unwrap_or_else(|e| panic!("{} does not fit Tofino 2: {e}", spec.kind()));
+        assert!(plan.usage.stages_used <= 20);
+        assert!(
+            plan.usage.rules <= 40,
+            "{}: {} rules (paper: 10–20 per query)",
+            spec.kind(),
+            plan.usage.rules
+        );
+    }
+}
+
+#[test]
+fn rule_installation_under_a_millisecond_per_query() {
+    for spec in all_paper_defaults() {
+        let plan = planner::plan(&spec, SwitchProfile::tofino2()).expect("fits");
+        assert!(
+            plan.install_time < Duration::from_millis(1),
+            "{}: install {:?}",
+            spec.kind(),
+            plan.install_time
+        );
+    }
+}
+
+#[test]
+fn resource_styles_differ_by_algorithm() {
+    // §6: "not all algorithms are heavy in the same type of resources" —
+    // SKYLINE is stage-heavy with little SRAM; JOIN is SRAM-heavy with few
+    // stages. That asymmetry is what makes packing work.
+    let sky = planner::plan(
+        &QuerySpec::Skyline(SkylineConfig::paper_default(SkylinePolicy::Sum)),
+        SwitchProfile::tofino2(),
+    )
+    .unwrap()
+    .usage;
+    let join = planner::plan(
+        &QuerySpec::Join(JoinConfig::paper_default()),
+        SwitchProfile::tofino2(),
+    )
+    .unwrap()
+    .usage;
+    assert!(sky.stages_used > join.stages_used);
+    assert!(join.sram_bits > sky.sram_bits * 100);
+}
+
+#[test]
+fn benchmark_mix_packs_with_under_100_rules() {
+    // §7.1: "Any of the Big Data benchmark workloads can be configured
+    // using less than 100 control plane rules."
+    let specs = vec![
+        QuerySpec::Filter(FilterConfig {
+            atoms: vec![AtomSpec::Switch(Predicate { col: 0, op: CmpOp::Lt, constant: 10 })],
+            expr: BoolExpr::Atom(0),
+            external_mode: ExternalMode::Tautology,
+        }),
+        QuerySpec::Distinct(DistinctConfig { rows: 1024, ..DistinctConfig::paper_default() }),
+        QuerySpec::TopNRand(TopNRandConfig { rows: 1024, cols: 4, seed: 3 }),
+        QuerySpec::GroupBy(GroupByConfig { rows: 1024, cols: 4, ..GroupByConfig::paper_default() }),
+        QuerySpec::Having(HavingConfig {
+            cm_counters: 512,
+            dedup_rows: 512,
+            ..HavingConfig::paper_default(1_000_000)
+        }),
+        QuerySpec::Join(JoinConfig { m_bits: 1 << 21, ..JoinConfig::paper_default() }),
+    ];
+    let packed = PackedQueries::pack(&specs, SwitchProfile::tofino2()).expect("packs");
+    assert!(packed.usage.rules < 100, "rules = {}", packed.usage.rules);
+    assert!(packed.install_time < Duration::from_millis(5));
+}
+
+#[test]
+fn oversized_configurations_fail_with_precise_errors() {
+    // SRAM exhaustion.
+    let huge = QuerySpec::Distinct(DistinctConfig {
+        rows: 1 << 26,
+        cols: 2,
+        policy: EvictionPolicy::Lru,
+        fingerprint: None,
+        seed: 1,
+    });
+    match planner::plan(&huge, SwitchProfile::tofino1()) {
+        Err(SwitchError::SramExhausted { .. }) | Err(SwitchError::NoContiguousStages { .. }) => {}
+        other => panic!("expected a resource error, got {:?}", other.err()),
+    }
+    // Stage exhaustion: a 40-point skyline cannot fit 12 stages.
+    let tall = QuerySpec::Skyline(SkylineConfig {
+        dims: 2,
+        points: 40,
+        policy: SkylinePolicy::Sum,
+        packed: true,
+    });
+    match planner::plan(&tall, SwitchProfile::tofino1()) {
+        Err(SwitchError::NoContiguousStages { .. }) => {}
+        other => panic!("expected stage exhaustion, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn packing_order_independence_for_disjoint_resources() {
+    // Packing the same set in different orders must succeed equally (the
+    // ledger is order-sensitive for placement but the budget question has
+    // one answer for these sizes).
+    let a = QuerySpec::Distinct(DistinctConfig { rows: 512, ..DistinctConfig::paper_default() });
+    let b = QuerySpec::GroupBy(GroupByConfig { rows: 512, cols: 4, ..GroupByConfig::paper_default() });
+    let c = QuerySpec::TopNDet(TopNDetConfig::paper_default());
+    for order in [
+        vec![a.clone(), b.clone(), c.clone()],
+        vec![c.clone(), b.clone(), a.clone()],
+        vec![b.clone(), a.clone(), c.clone()],
+    ] {
+        PackedQueries::pack(&order, SwitchProfile::tofino2()).expect("packs in any order");
+    }
+}
+
+#[test]
+fn tiny_switch_rejects_most_but_not_all() {
+    // The tiny test profile still fits a small filter…
+    let small_filter = QuerySpec::Filter(FilterConfig {
+        atoms: vec![AtomSpec::Switch(Predicate { col: 0, op: CmpOp::Gt, constant: 1 })],
+        expr: BoolExpr::Atom(0),
+        external_mode: ExternalMode::Tautology,
+    });
+    planner::plan(&small_filter, SwitchProfile::tiny()).expect("a filter fits anywhere");
+    // …but not the paper-default DISTINCT.
+    assert!(planner::plan(
+        &QuerySpec::Distinct(DistinctConfig::paper_default()),
+        SwitchProfile::tiny()
+    )
+    .is_err());
+}

@@ -1,0 +1,254 @@
+//! Empirical validation of the paper's theorems against the actual
+//! implementations (not re-derivations of the formulas — the formulas live
+//! in `cheetah_core::analysis`; here we check that the *running system*
+//! obeys them).
+
+use cheetah::algorithms::analysis;
+use cheetah::algorithms::{
+    DistinctConfig, DistinctPruner, EvictionPolicy, FingerprintSpec, StandalonePruner,
+    TopNRandConfig, TopNRandPruner,
+};
+use cheetah::switch::hash::mix64;
+use cheetah::switch::{ResourceLedger, SwitchProfile, Verdict};
+use cheetah::workloads::streams;
+
+fn big_ledger() -> ResourceLedger {
+    let mut p = SwitchProfile::tofino2();
+    p.stages = 64;
+    p.sram_bits_per_stage = 1 << 31;
+    ResourceLedger::new(p)
+}
+
+/// Theorem 1/8: a `d × w` DISTINCT matrix prunes at least
+/// `0.99·min(w·d/(D·e), 1)` of the duplicates on a random-order stream
+/// (in expectation; we allow simulation slack).
+#[test]
+fn theorem1_distinct_duplicate_pruning_bound() {
+    // The paper's running example: D = 15000, d = 1000, w = 24 → ≈58%.
+    let (d, w, distinct) = (1000usize, 24usize, 15_000usize);
+    let m = 400_000;
+    let stream = streams::duplicates_stream(m, distinct, 0x7E01);
+    let mut p = StandalonePruner::new(
+        DistinctPruner::build(
+            DistinctConfig {
+                rows: d,
+                cols: w,
+                policy: EvictionPolicy::Lru,
+                fingerprint: None,
+                seed: 3,
+            },
+            &mut big_ledger(),
+        )
+        .unwrap(),
+    );
+    for v in &stream {
+        p.offer(&[*v]).unwrap();
+    }
+    let stats = p.stats();
+    let duplicates = (m - distinct) as f64;
+    let pruned_dup_fraction = stats.pruned as f64 / duplicates;
+    let bound = analysis::distinct_pruned_duplicates_lower_bound(w, d, distinct as u64);
+    assert!(
+        pruned_dup_fraction >= bound * 0.9,
+        "pruned {pruned_dup_fraction:.3} of duplicates, bound {bound:.3}"
+    );
+}
+
+/// Theorem 2/9: with `w` per Theorem 2, no more than `w` of the top `N`
+/// land in one row — so the randomized TOP N never prunes an output entry
+/// (checked over several independent seeds).
+#[test]
+fn theorem2_randomized_topn_success() {
+    let n = 100usize;
+    let delta = 1e-4;
+    let d = 256usize;
+    let w = analysis::topn_columns_for(d, n, delta).expect("feasible");
+    let m = 100_000;
+    for seed in 0..5u64 {
+        let stream = streams::random_values(m, 1 << 30, seed ^ 0x7E02);
+        let mut p = StandalonePruner::new(
+            TopNRandPruner::build(
+                TopNRandConfig { rows: d, cols: w, seed: seed ^ 0x44 },
+                &mut big_ledger(),
+            )
+            .unwrap(),
+        );
+        let mut forwarded: Vec<u64> = Vec::new();
+        let mut pruned: Vec<u64> = Vec::new();
+        for &v in &stream {
+            match p.offer(&[v]).unwrap() {
+                Verdict::Forward => forwarded.push(v),
+                Verdict::Prune => pruned.push(v),
+            }
+        }
+        // The true top-N must be a sub-multiset of the forwarded set.
+        let mut all = stream.clone();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        forwarded.sort_unstable_by(|a, b| b.cmp(a));
+        let top_n = &all[..n];
+        let mut fi = 0;
+        for &t in top_n {
+            while fi < forwarded.len() && forwarded[fi] > t {
+                fi += 1;
+            }
+            assert!(
+                fi < forwarded.len() && forwarded[fi] == t,
+                "seed {seed}: top-N value {t} was pruned"
+            );
+            fi += 1;
+        }
+    }
+}
+
+/// Theorem 3/10: the expected number of unpruned entries is at most
+/// `w·d·ln(m·e/(w·d))` on random-order streams. One run should land within
+/// 2× of the expectation.
+#[test]
+fn theorem3_randomized_topn_unpruned_bound() {
+    let (d, w) = (512usize, 4usize);
+    let m = 500_000u64;
+    let stream = streams::random_values(m as usize, u64::MAX, 0x7E03);
+    let mut p = StandalonePruner::new(
+        TopNRandPruner::build(
+            TopNRandConfig { rows: d, cols: w, seed: 9 },
+            &mut big_ledger(),
+        )
+        .unwrap(),
+    );
+    for &v in &stream {
+        p.offer(&[v]).unwrap();
+    }
+    let bound = analysis::topn_expected_unpruned(m, w, d);
+    let actual = p.stats().forwarded as f64;
+    assert!(actual <= bound * 2.0, "forwarded {actual}, expected ≤ ~{bound}");
+    // And the bound is not wildly loose either (sanity of the experiment).
+    assert!(actual >= bound * 0.2, "forwarded {actual} suspiciously far below {bound}");
+}
+
+/// Theorem 4: fingerprints sized by the theorem produce no false prunes —
+/// every distinct value still reaches the master (checked over seeds).
+#[test]
+fn theorem4_fingerprint_sizing_protects_distinct() {
+    let d = 256usize;
+    let delta = 1e-4;
+    let distinct = 20_000u64;
+    let fp = FingerprintSpec::for_distinct(d, delta, distinct, 0x7E04);
+    let m = 60_000;
+    let stream = streams::duplicates_stream(m, distinct as usize, 0x7E05);
+    let mut p = StandalonePruner::new(
+        DistinctPruner::build(
+            DistinctConfig {
+                rows: d,
+                cols: 4,
+                policy: EvictionPolicy::Lru,
+                fingerprint: Some(fp),
+                seed: 5,
+            },
+            &mut big_ledger(),
+        )
+        .unwrap(),
+    );
+    let mut seen = std::collections::HashSet::new();
+    let mut delivered = std::collections::HashSet::new();
+    for &v in &stream {
+        seen.insert(v);
+        if p.offer(&[v]).unwrap() == Verdict::Forward {
+            delivered.insert(v);
+        }
+    }
+    assert_eq!(
+        delivered.len(),
+        seen.len(),
+        "a distinct value was fingerprint-collided away"
+    );
+}
+
+/// §5's space optimization: the Lambert-W (d, w) has a no-worse product
+/// than nearby configurations at the same (N, δ).
+#[test]
+fn space_optimization_is_locally_optimal() {
+    let n = 500;
+    let delta = 1e-4;
+    let (d_opt, w_opt) = analysis::topn_optimize_dw(n, delta);
+    let opt_product = d_opt * w_opt;
+    for factor in [0.5f64, 0.75, 1.5, 2.0] {
+        let d = ((d_opt as f64) * factor) as usize;
+        if let Some(w) = analysis::topn_columns_for(d, n, delta) {
+            assert!(
+                d * w >= opt_product * 95 / 100,
+                "found materially better config d={d}, w={w} vs optimum {d_opt},{w_opt}"
+            );
+        }
+    }
+}
+
+/// The worst case of §5: a monotone increasing stream defeats pruning but
+/// never correctness — everything is forwarded.
+#[test]
+fn monotone_stream_is_worst_case_but_safe() {
+    let mut p = StandalonePruner::new(
+        TopNRandPruner::build(
+            TopNRandConfig { rows: 64, cols: 4, seed: 1 },
+            &mut big_ledger(),
+        )
+        .unwrap(),
+    );
+    for v in 0..20_000u64 {
+        assert_eq!(p.offer(&[v]).unwrap(), Verdict::Forward, "monotone stream at {v}");
+    }
+}
+
+/// The pruning rate improves with the data scale (the headline of Figure
+/// 11a–d): feed two prefixes of the same stream and compare.
+#[test]
+fn pruning_improves_with_scale_for_distinct() {
+    let stream = streams::duplicates_stream(200_000, 1_000, 0x7E06);
+    let run = |prefix: usize| {
+        let mut p = StandalonePruner::new(
+            DistinctPruner::build(DistinctConfig::paper_default(), &mut big_ledger()).unwrap(),
+        );
+        for v in &stream[..prefix] {
+            p.offer(&[*v]).unwrap();
+        }
+        p.stats().unpruned_fraction()
+    };
+    let small = run(20_000);
+    let large = run(200_000);
+    assert!(large < small, "scale should help: {small} -> {large}");
+}
+
+/// Determinism: the same seed reproduces the same pruning decisions bit
+/// for bit (the whole experiment pipeline relies on this).
+#[test]
+fn runs_are_deterministic() {
+    let stream = streams::random_values(50_000, 1 << 20, 0x7E07);
+    let run = || {
+        let mut p = StandalonePruner::new(
+            TopNRandPruner::build(
+                TopNRandConfig { rows: 128, cols: 4, seed: 11 },
+                &mut big_ledger(),
+            )
+            .unwrap(),
+        );
+        let mut verdicts = Vec::new();
+        for &v in &stream {
+            verdicts.push(p.offer(&[v]).unwrap().is_prune());
+        }
+        verdicts
+    };
+    assert_eq!(run(), run());
+}
+
+/// mix64 feeds every hash in the system; a quick avalanche sanity check
+/// guards against accidental weakening.
+#[test]
+fn hash_avalanche() {
+    let mut worst: u32 = 64;
+    for i in 0..64u32 {
+        let a = mix64(0x1234_5678);
+        let b = mix64(0x1234_5678 ^ (1 << i));
+        let flipped = (a ^ b).count_ones();
+        worst = worst.min(flipped);
+    }
+    assert!(worst >= 16, "single-bit flip changed only {worst} output bits");
+}
