@@ -3,9 +3,9 @@
 //! budget — in hardware this cost is paid by the pipeline, not a CPU).
 
 use cheetah_core::{
-    DistinctConfig, DistinctPruner, EvictionPolicy, GroupByConfig, GroupByPruner,
-    SkylineConfig, SkylinePolicy, SkylinePruner, StandalonePruner, TopNDetConfig, TopNDetPruner,
-    TopNRandConfig, TopNRandPruner,
+    DistinctConfig, DistinctPruner, EvictionPolicy, GroupByConfig, GroupByPruner, SkylineConfig,
+    SkylinePolicy, SkylinePruner, StandalonePruner, TopNDetConfig, TopNDetPruner, TopNRandConfig,
+    TopNRandPruner,
 };
 use cheetah_switch::{ResourceLedger, SwitchProfile};
 use cheetah_workloads::streams;
@@ -35,10 +35,8 @@ fn bench_pruners(c: &mut Criterion) {
     });
 
     g.bench_function("distinct_fifo_w2_d4096", |b| {
-        let cfg = DistinctConfig {
-            policy: EvictionPolicy::Fifo,
-            ..DistinctConfig::paper_default()
-        };
+        let cfg =
+            DistinctConfig { policy: EvictionPolicy::Fifo, ..DistinctConfig::paper_default() };
         let mut p = StandalonePruner::new(DistinctPruner::build(cfg, &mut ledger()).unwrap());
         b.iter(|| {
             for &v in &values {
@@ -85,11 +83,8 @@ fn bench_pruners(c: &mut Criterion) {
     let pts = streams::points_stream(N, 2, 1 << 16, 4);
     g.bench_function("skyline_sum_w10", |b| {
         let mut p = StandalonePruner::new(
-            SkylinePruner::build(
-                SkylineConfig::paper_default(SkylinePolicy::Sum),
-                &mut ledger(),
-            )
-            .unwrap(),
+            SkylinePruner::build(SkylineConfig::paper_default(SkylinePolicy::Sum), &mut ledger())
+                .unwrap(),
         );
         b.iter(|| {
             for pt in &pts {

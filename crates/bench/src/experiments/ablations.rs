@@ -21,7 +21,7 @@ use cheetah_core::{
     SkylinePruner, StandalonePruner,
 };
 use cheetah_switch::hash::mix64;
-use cheetah_switch::{ResourceLedger, SwitchProfile, Verdict};
+use cheetah_switch::{ResourceLedger, SwitchProfile};
 use cheetah_workloads::streams;
 
 const SEED: u64 = 0xAB1A;
@@ -47,13 +47,7 @@ pub fn eviction_policy(scale: Scale) -> Report {
         for policy in [EvictionPolicy::Lru, EvictionPolicy::Fifo] {
             let mut p = StandalonePruner::new(
                 DistinctPruner::build(
-                    DistinctConfig {
-                        rows: 512,
-                        cols: 2,
-                        policy,
-                        fingerprint: None,
-                        seed: SEED,
-                    },
+                    DistinctConfig { rows: 512, cols: 2, policy, fingerprint: None, seed: SEED },
                     &mut ledger(),
                 )
                 .expect("build"),
@@ -117,8 +111,7 @@ pub fn batching(scale: Scale) -> Report {
     for batch in [1usize, 2, 4, 8] {
         let rate = effective_entry_rate(10e9, 42, 8, batch) / 1e6;
         let cfg = BatchedDistinctConfig { rows: 2048, cols: 2, batch, seed: SEED };
-        let usage =
-            BatchedDistinct::table2_row(cfg, SwitchProfile::tofino2()).expect("fits");
+        let usage = BatchedDistinct::table2_row(cfg, SwitchProfile::tofino2()).expect("fits");
         let mut b = BatchedDistinct::build(cfg, &mut ledger()).expect("build");
         let mut seen = 0u64;
         let mut forwarded = 0u64;
@@ -156,18 +149,14 @@ pub fn hierarchy(scale: Scale) -> Report {
     });
     let mut single_frac = None;
     for leaves in [1usize, 2, 4, 8] {
-        let mut h = MultiSwitch::build(&spec, leaves, &SwitchProfile::tofino1(), SEED)
-            .expect("build");
+        let mut h =
+            MultiSwitch::build(&spec, leaves, &SwitchProfile::tofino1(), SEED).expect("build");
         for &v in &stream {
             h.offer(&[v]).expect("run");
         }
         let f = h.unpruned_fraction();
         let single = *single_frac.get_or_insert(f);
-        r.row(vec![
-            leaves.to_string(),
-            frac(f),
-            format!("{:.2}x", single / f.max(1e-12)),
-        ]);
+        r.row(vec![leaves.to_string(), frac(f), format!("{:.2}x", single / f.max(1e-12))]);
     }
     r.note("per-device resources fixed (d=256, w=2); leaves add capacity, root mops up");
     r

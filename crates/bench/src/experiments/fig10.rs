@@ -18,7 +18,7 @@ use cheetah_core::{
 use cheetah_switch::{ControlMsg, ResourceLedger, SwitchProfile, SwitchProgram, Verdict};
 use cheetah_workloads::streams;
 
-const SEED: u64 = 0xF16_10;
+const SEED: u64 = 0xF1610;
 
 fn ledger() -> ResourceLedger {
     // A generous profile so resource sweeps explore the algorithm, not the
@@ -139,10 +139,8 @@ pub fn panel_c(scale: Scale) -> Report {
     // stream here.
     let m = scale.entries(400_000, 10_000_000);
     let n = 250;
-    let stream: Vec<Vec<u64>> = streams::random_values(m, 1 << 31, SEED ^ 0xC)
-        .into_iter()
-        .map(|v| vec![v])
-        .collect();
+    let stream: Vec<Vec<u64>> =
+        streams::random_values(m, 1 << 31, SEED ^ 0xC).into_iter().map(|v| vec![v]).collect();
     let mut r = Report::new(
         "fig10c",
         "TOP N (N=250, d=4096): unpruned fraction vs matrix width w",
@@ -256,9 +254,8 @@ pub fn panel_e(scale: Scale) -> Report {
                 fid_b: 1,
                 seed: SEED,
             };
-            let mut p = StandalonePruner::new(
-                JoinPruner::build(cfg, &mut ledger()).expect("build"),
-            );
+            let mut p =
+                StandalonePruner::new(JoinPruner::build(cfg, &mut ledger()).expect("build"));
             for &k in &keys_a {
                 p.offer_for_fid(0, &[k]).expect("run");
             }

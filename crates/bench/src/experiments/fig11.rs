@@ -9,13 +9,12 @@ use crate::{Report, Scale};
 use cheetah_core::{
     AggKind, BloomKind, DistinctConfig, DistinctPruner, EvictionPolicy, GroupByConfig,
     GroupByPruner, HavingAgg, HavingConfig, HavingPruner, JoinConfig, JoinMode, JoinPruner,
-    SkylineConfig, SkylinePolicy, SkylinePruner, StandalonePruner, TopNRandConfig,
-    TopNRandPruner,
+    SkylineConfig, SkylinePolicy, SkylinePruner, StandalonePruner, TopNRandConfig, TopNRandPruner,
 };
 use cheetah_switch::{ControlMsg, ResourceLedger, SwitchProfile, SwitchProgram};
 use cheetah_workloads::streams;
 
-const SEED: u64 = 0xF16_11;
+const SEED: u64 = 0xF1611;
 const CHECKPOINTS: usize = 8;
 
 fn ledger() -> ResourceLedger {
@@ -45,10 +44,8 @@ fn scaled_run<P: SwitchProgram>(program: P, stream: &[Vec<u64>]) -> Vec<(usize, 
 /// Panel (a): DISTINCT (w=2) across d, vs scale.
 pub fn panel_a(scale: Scale) -> Report {
     let m = scale.entries(160_000, 20_000_000);
-    let stream: Vec<Vec<u64>> = streams::duplicates_stream(m, 2_000, SEED)
-        .into_iter()
-        .map(|v| vec![v])
-        .collect();
+    let stream: Vec<Vec<u64>> =
+        streams::duplicates_stream(m, 2_000, SEED).into_iter().map(|v| vec![v]).collect();
     let ds = [64usize, 256, 1024, 4096, 16384];
     let mut r = Report::new(
         "fig11a",
@@ -64,10 +61,7 @@ pub fn panel_a(scale: Scale) -> Report {
             fingerprint: None,
             seed: SEED,
         };
-        curves.push(scaled_run(
-            DistinctPruner::build(cfg, &mut ledger()).expect("build"),
-            &stream,
-        ));
+        curves.push(scaled_run(DistinctPruner::build(cfg, &mut ledger()).expect("build"), &stream));
     }
     for i in 0..curves[0].len() {
         let mut cells = vec![curves[0][i].0.to_string()];
@@ -98,10 +92,7 @@ pub fn panel_b(scale: Scale) -> Report {
             policy: SkylinePolicy::Aph { beta: 1 << 8 },
             packed: true,
         };
-        curves.push(scaled_run(
-            SkylinePruner::build(cfg, &mut ledger()).expect("build"),
-            &stream,
-        ));
+        curves.push(scaled_run(SkylinePruner::build(cfg, &mut ledger()).expect("build"), &stream));
     }
     for i in 0..curves[0].len() {
         let mut cells = vec![curves[0][i].0.to_string()];
@@ -116,10 +107,8 @@ pub fn panel_b(scale: Scale) -> Report {
 /// Panel (c): TOP N (randomized, d=4096) across w, vs scale.
 pub fn panel_c(scale: Scale) -> Report {
     let m = scale.entries(160_000, 20_000_000);
-    let stream: Vec<Vec<u64>> = streams::random_values(m, 1 << 31, SEED ^ 0xC)
-        .into_iter()
-        .map(|v| vec![v])
-        .collect();
+    let stream: Vec<Vec<u64>> =
+        streams::random_values(m, 1 << 31, SEED ^ 0xC).into_iter().map(|v| vec![v]).collect();
     let ws = [4usize, 6, 8, 12];
     let mut r = Report::new(
         "fig11c",
@@ -206,9 +195,8 @@ pub fn panel_e(scale: Scale) -> Report {
                 fid_b: 1,
                 seed: SEED,
             };
-            let mut p = StandalonePruner::new(
-                JoinPruner::build(cfg, &mut ledger()).expect("build"),
-            );
+            let mut p =
+                StandalonePruner::new(JoinPruner::build(cfg, &mut ledger()).expect("build"));
             for &k in &keys_a {
                 p.offer_for_fid(0, &[k]).expect("run");
             }
@@ -235,10 +223,8 @@ pub fn panel_e(scale: Scale) -> Report {
 pub fn panel_f(scale: Scale) -> Report {
     let m = scale.entries(160_000, 20_000_000);
     let keys = 2_000;
-    let stream: Vec<Vec<u64>> = streams::revenue_stream(m, keys, SEED ^ 0xF)
-        .into_iter()
-        .map(|kv| kv.to_vec())
-        .collect();
+    let stream: Vec<Vec<u64>> =
+        streams::revenue_stream(m, keys, SEED ^ 0xF).into_iter().map(|kv| kv.to_vec()).collect();
     let threshold = (m / keys) as u64 * 50 * 3;
     let ws = [32usize, 64, 128, 256, 512];
     let mut r = Report::new(
@@ -257,10 +243,7 @@ pub fn panel_f(scale: Scale) -> Report {
             dedup_cols: 2,
             seed: SEED,
         };
-        curves.push(scaled_run(
-            HavingPruner::build(cfg, &mut ledger()).expect("build"),
-            &stream,
-        ));
+        curves.push(scaled_run(HavingPruner::build(cfg, &mut ledger()).expect("build"), &stream));
     }
     for i in 0..curves[0].len() {
         let mut cells = vec![curves[0][i].0.to_string()];

@@ -7,7 +7,7 @@
 //! (Cheetah's choice) scales and offloading to the switch CPU does not.
 //!
 //! Server times are measured by running the real `cheetah-db` operators;
-//! switch-CPU times apply [`SwitchCpuModel`](cheetah_switch::SwitchCpuModel)
+//! switch-CPU times apply [`SwitchCpuModel`]
 //! (slowdown + channel transfer) to the measured baseline.
 
 use crate::report::secs;
@@ -31,12 +31,7 @@ fn keyed_partition(rows: usize, keys: u64, seed: u64) -> Partition {
     Partition::new(vec![Column::Str(ks), Column::Int(vs)])
 }
 
-fn one_figure(
-    id: &'static str,
-    title: &str,
-    scale: Scale,
-    op: impl Fn(&Partition),
-) -> Report {
+fn one_figure(id: &'static str, title: &str, scale: Scale, op: impl Fn(&Partition)) -> Report {
     let cpu = SwitchCpuModel::default_model();
     let mut r = Report::new(id, title, &["rows", "server", "switch_cpu", "slowdown"]);
     let base = scale.entries(50_000, 2_000_000);
@@ -65,22 +60,12 @@ fn one_figure(
 /// Build both figures.
 pub fn run(scale: Scale) -> Vec<Report> {
     vec![
-        one_figure(
-            "fig12",
-            "Group-By processing: server vs switch CPU",
-            scale,
-            |p| {
-                std::hint::black_box(ops::partial_groupby_max(0, 1, p));
-            },
-        ),
-        one_figure(
-            "fig13",
-            "Distinct processing: server vs switch CPU",
-            scale,
-            |p| {
-                std::hint::black_box(ops::partial_distinct(0, p));
-            },
-        ),
+        one_figure("fig12", "Group-By processing: server vs switch CPU", scale, |p| {
+            std::hint::black_box(ops::partial_groupby_max(0, 1, p));
+        }),
+        one_figure("fig13", "Distinct processing: server vs switch CPU", scale, |p| {
+            std::hint::black_box(ops::partial_distinct(0, p));
+        }),
     ]
 }
 
@@ -92,8 +77,7 @@ mod tests {
     fn switch_cpu_is_always_slower() {
         for r in run(Scale::Quick) {
             for row in &r.rows {
-                let slowdown: f64 =
-                    row[3].strip_suffix('x').unwrap().parse().expect("slowdown");
+                let slowdown: f64 = row[3].strip_suffix('x').unwrap().parse().expect("slowdown");
                 assert!(slowdown > 1.0, "{}: {row:?}", r.id);
             }
         }

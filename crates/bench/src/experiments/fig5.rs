@@ -140,10 +140,7 @@ pub fn run(scale: Scale) -> Vec<Report> {
     // The paper took 10% subsets for the join because destURLs match
     // rankings 100%; we get the same effect by widening the URL universe
     // so only ~25% of visits hit a ranked page.
-    let bd_join = BigDataConfig {
-        url_universe: Some(bd.rankings_rows * 4),
-        ..bd.clone()
-    };
+    let bd_join = BigDataConfig { url_universe: Some(bd.rankings_rows * 4), ..bd.clone() };
     let uservisits_join = bd_join.uservisits();
     let join = run_pair(
         &cluster,
@@ -175,7 +172,9 @@ pub fn run(scale: Scale) -> Vec<Report> {
         "rankings = {} rows, uservisits = {} rows, link = {LINK_GBPS} Gbps",
         bd.rankings_rows, bd.uservisits_rows
     ));
-    r.note(format!("spark_1st = measured × {FIRST_RUN_FACTOR} (paper-observed indexing/JIT penalty)"));
+    r.note(format!(
+        "spark_1st = measured × {FIRST_RUN_FACTOR} (paper-observed indexing/JIT penalty)"
+    ));
     r.note("BigData B reproduced as its switch-prunable SUM+HAVING form (benchmark query 7)");
     r.note("A+B = sum of the two runs; the paper additionally pipelines CWorker serialization");
     r.note("TPC-H Q3 row is the offloaded join (67% of Q3 per §8.1); outputs verified equal");
@@ -191,10 +190,17 @@ mod tests {
         // run() internally asserts output equality for every query.
         let r = &run(Scale::Quick)[0];
         assert_eq!(r.rows.len(), 9);
-        for name in
-            ["BigData A", "BigData B", "BigData A+B", "TPC-H Q3 (join)", "Distinct",
-             "GroupBy (Max)", "Skyline", "Top-N", "Join"]
-        {
+        for name in [
+            "BigData A",
+            "BigData B",
+            "BigData A+B",
+            "TPC-H Q3 (join)",
+            "Distinct",
+            "GroupBy (Max)",
+            "Skyline",
+            "Top-N",
+            "Join",
+        ] {
             assert!(r.rows.iter().any(|row| row[0] == name), "missing {name}");
         }
     }

@@ -33,10 +33,8 @@ fn best_of_3(cluster: &Cluster, q: &DbQuery, t: &cheetah_db::Table) -> (f64, f64
 
 /// Panel (a): vary the number of workers over a fixed dataset.
 pub fn panel_a(scale: Scale) -> Report {
-    let bd = BigDataConfig {
-        uservisits_rows: scale.entries(100_000, 5_000_000),
-        ..Default::default()
-    };
+    let bd =
+        BigDataConfig { uservisits_rows: scale.entries(100_000, 5_000_000), ..Default::default() };
     let table = bd.uservisits();
     let cluster = Cluster::default();
     let q = distinct_query();

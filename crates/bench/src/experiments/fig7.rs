@@ -6,7 +6,7 @@
 //! start). Cheetah streams survivors to the master during execution and
 //! pays nothing extra. The paper measured a *lower bound* for NetAccel —
 //! the time to read the output back — which is exactly what
-//! [`DrainModel`](cheetah_switch::DrainModel) charges.
+//! [`DrainModel`] charges.
 //!
 //! Workload: TPC-H Q3's order-key join; the result size is varied by
 //! changing the filter ranges (x-axis: result size as % of the input).
@@ -49,7 +49,9 @@ pub fn run(scale: Scale) -> Vec<Report> {
     }
     r.note(format!(
         "input = {} entries; drain channel = {} Gbps + {} ms setup (DrainModel)",
-        input_entries as u64, drain.channel_gbps, drain.setup_seconds * 1e3
+        input_entries as u64,
+        drain.channel_gbps,
+        drain.setup_seconds * 1e3
     ));
     r.note("NetAccel bound mirrors the paper's: ideal dataplane execution, drain cost only");
     vec![r]

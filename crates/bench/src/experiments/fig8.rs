@@ -13,10 +13,8 @@ use cheetah_workloads::bigdata::BigDataConfig;
 
 /// Build the figure.
 pub fn run(scale: Scale) -> Vec<Report> {
-    let bd = BigDataConfig {
-        uservisits_rows: scale.entries(150_000, 5_000_000),
-        ..Default::default()
-    };
+    let bd =
+        BigDataConfig { uservisits_rows: scale.entries(150_000, 5_000_000), ..Default::default() };
     let table = bd.uservisits();
     let cluster = Cluster::default();
     let queries = [
@@ -78,11 +76,7 @@ mod tests {
     fn cheetah_network_halves_at_20g() {
         let r = &run(Scale::Quick)[0];
         let net_of = |system: &str, query: &str| {
-            let row = r
-                .rows
-                .iter()
-                .find(|row| row[0] == query && row[1] == system)
-                .expect("row");
+            let row = r.rows.iter().find(|row| row[0] == query && row[1] == system).expect("row");
             parse_secs(&row[3])
         };
         for q in ["Distinct", "Group-By"] {
@@ -99,11 +93,8 @@ mod tests {
         // describes.
         let r = &run(Scale::Quick)[0];
         let net_of = |system: &str| {
-            let row = r
-                .rows
-                .iter()
-                .find(|row| row[0] == "Distinct" && row[1] == system)
-                .expect("row");
+            let row =
+                r.rows.iter().find(|row| row[0] == "Distinct" && row[1] == system).expect("row");
             parse_secs(&row[3])
         };
         assert!(net_of("Cheetah 10G") > net_of("Spark 10G"));

@@ -14,10 +14,13 @@ pub mod table3;
 
 use crate::{Report, Scale};
 
+/// An experiment entry point: scale in, one report per panel out.
+pub type ExperimentFn = fn(Scale) -> Vec<Report>;
+
 /// Every experiment, in paper order: `(id, runner)`.
-pub fn all() -> Vec<(&'static str, fn(Scale) -> Vec<Report>)> {
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("table2", table2::run as fn(Scale) -> Vec<Report>),
+        ("table2", table2::run as ExperimentFn),
         ("table3", table3::run),
         ("fig5", fig5::run),
         ("fig6", fig6::run),
@@ -38,10 +41,10 @@ mod tests {
     #[test]
     fn registry_covers_every_artifact() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
-        for want in
-            ["table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-             "fig12_13"]
-        {
+        for want in [
+            "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12_13",
+        ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }
     }

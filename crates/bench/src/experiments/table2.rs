@@ -42,10 +42,8 @@ pub fn run(_scale: Scale) -> Vec<Report> {
         "w=2, d=4096",
         DistinctPruner::table2_row(distinct_lru, profile.clone()).expect("fits"),
     ));
-    let distinct_fifo = DistinctConfig {
-        policy: EvictionPolicy::Fifo,
-        ..DistinctConfig::paper_default()
-    };
+    let distinct_fifo =
+        DistinctConfig { policy: EvictionPolicy::Fifo, ..DistinctConfig::paper_default() };
     r.row(fmt_row(
         "DISTINCT (FIFO*)",
         "w=2, d=4096",
@@ -74,21 +72,18 @@ pub fn run(_scale: Scale) -> Vec<Report> {
     r.row(fmt_row(
         "TOP N (Det)",
         "N=250, w=4",
-        TopNDetPruner::table2_row(TopNDetConfig::paper_default(), profile.clone())
-            .expect("fits"),
+        TopNDetPruner::table2_row(TopNDetConfig::paper_default(), profile.clone()).expect("fits"),
     ));
     r.row(fmt_row(
         "TOP N (Rand)",
         "N=250, w=4, d=4096",
-        TopNRandPruner::table2_row(TopNRandConfig::paper_default(), profile.clone())
-            .expect("fits"),
+        TopNRandPruner::table2_row(TopNRandConfig::paper_default(), profile.clone()).expect("fits"),
     ));
 
     r.row(fmt_row(
         "GROUP BY",
         "w=8, d=4096",
-        GroupByPruner::table2_row(GroupByConfig::paper_default(), profile.clone())
-            .expect("fits"),
+        GroupByPruner::table2_row(GroupByConfig::paper_default(), profile.clone()).expect("fits"),
     ));
 
     r.row(fmt_row(

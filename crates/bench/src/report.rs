@@ -50,12 +50,7 @@ impl Report {
         let mut out = String::new();
         out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
         let line = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&line(&self.headers, &widths));
         out.push('\n');

@@ -147,7 +147,7 @@ pub fn topn_optimize_dw(n: usize, delta: f64) -> (usize, usize) {
     while d <= hi {
         if let Some(w) = topn_columns_for(d, n, delta) {
             let cost = (w * d) as f64;
-            if best.map_or(true, |(_, _, c)| cost < c) {
+            if best.is_none_or(|(_, _, c)| cost < c) {
                 best = Some((d, w, cost));
             }
         }

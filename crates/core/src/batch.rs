@@ -13,9 +13,7 @@
 //! `k`. [`BatchedDistinct`] implements the pattern for DISTINCT; the same
 //! wrapper strategy applies to the other row-partitioned algorithms.
 
-use cheetah_switch::{
-    ControlMsg, HashFn, RegisterArray, ResourceLedger, UsageSummary, Verdict,
-};
+use cheetah_switch::{ControlMsg, HashFn, RegisterArray, ResourceLedger, UsageSummary, Verdict};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for batched DISTINCT.
@@ -183,11 +181,8 @@ mod tests {
 
     fn build(rows: usize, cols: usize, batch: usize) -> BatchedDistinct {
         let mut ledger = ResourceLedger::new(SwitchProfile::tofino2());
-        BatchedDistinct::build(
-            BatchedDistinctConfig { rows, cols, batch, seed: 5 },
-            &mut ledger,
-        )
-        .unwrap()
+        BatchedDistinct::build(BatchedDistinctConfig { rows, cols, batch, seed: 5 }, &mut ledger)
+            .unwrap()
     }
 
     #[test]
@@ -199,7 +194,7 @@ mod tests {
         // All rows distinct for these values with this seed? Some may
         // conflict; conflicting entries forward. Every PRUNE must be a
         // real duplicate.
-        assert!(v2.survivors() < 4 || v2.all_pruned() == false);
+        assert!(v2.survivors() < 4 || !v2.all_pruned());
         for (i, v) in v2.0.iter().enumerate() {
             if v.is_prune() {
                 assert!(i < 4, "sanity");

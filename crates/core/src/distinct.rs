@@ -108,7 +108,11 @@ impl DistinctPruner {
                     sram_per_col * alus_per_stage.min(cfg.cols) as u64,
                 )?;
                 for i in 0..cfg.cols {
-                    cols.push(ledger.register_array(start + i / alus_per_stage, cfg.rows, width)?);
+                    cols.push(ledger.register_array(
+                        start + i / alus_per_stage,
+                        cfg.rows,
+                        width,
+                    )?);
                 }
             }
         }
@@ -116,12 +120,7 @@ impl DistinctPruner {
         ledger.alloc_phv_bits(64)?;
         // Control rules: row-hash select + per-column compare actions.
         ledger.note_rules(2 + cfg.cols);
-        Ok(Self {
-            cfg,
-            row_hash: HashFn::from_seed(cfg.seed),
-            cols,
-            fifo_ptr: vec![0; cfg.rows],
-        })
+        Ok(Self { cfg, row_hash: HashFn::from_seed(cfg.seed), cols, fifo_ptr: vec![0; cfg.rows] })
     }
 
     /// Resource usage of this configuration on the given profile, as one
@@ -270,8 +269,7 @@ mod tests {
             let mut p = build(small_cfg(policy));
             let mut forwarded = HashSet::new();
             // A stressy little stream with heavy reuse across rows.
-            let stream: Vec<u64> =
-                (0..2000u64).map(|i| (i * 7919) % 37).chain(0..37).collect();
+            let stream: Vec<u64> = (0..2000u64).map(|i| (i * 7919) % 37).chain(0..37).collect();
             for v in stream {
                 match p.offer(&[v]).unwrap() {
                     Verdict::Forward => {
@@ -292,9 +290,8 @@ mod tests {
         //        A hits. Total prunes for A: 2.
         //  FIFO: A,B cached (ptr→0); A hits (no refresh); C evicts A
         //        (victim col 0) → [C,B]; A misses. Total prunes for A: 1.
-        let mk = |policy| {
-            build(DistinctConfig { rows: 1, cols: 2, policy, fingerprint: None, seed: 1 })
-        };
+        let mk =
+            |policy| build(DistinctConfig { rows: 1, cols: 2, policy, fingerprint: None, seed: 1 });
         let run = |p: &mut StandalonePruner<DistinctPruner>| {
             [10u64, 20, 10, 30, 10]
                 .iter()
@@ -418,8 +415,7 @@ mod tests {
     #[test]
     fn opt_prunes_all_duplicates() {
         let mut opt = DistinctOpt::default();
-        let stats =
-            crate::pruner::run_opt(&mut opt, (0..100u64).map(|i| vec![i % 10]));
+        let stats = crate::pruner::run_opt(&mut opt, (0..100u64).map(|i| vec![i % 10]));
         assert_eq!(stats.forwarded, 10);
         assert_eq!(stats.pruned, 90);
     }

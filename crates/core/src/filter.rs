@@ -270,15 +270,14 @@ impl FilterPruner {
         assert!(k > 0 && k <= Self::MAX_ATOMS, "1..={} atoms supported", Self::MAX_ATOMS);
         // The effective formula: in Tautology mode external atoms are T.
         let effective = match cfg.external_mode {
-            ExternalMode::Tautology => cfg.expr.substitute(&|i| {
-                matches!(cfg.atoms[i], AtomSpec::External { .. }).then_some(true)
-            }),
+            ExternalMode::Tautology => cfg
+                .expr
+                .substitute(&|i| matches!(cfg.atoms[i], AtomSpec::External { .. }).then_some(true)),
             ExternalMode::WorkerComputed => cfg.expr.clone(),
         };
         // Resources: one ALU per switch atom (packed A per stage), one
         // truth-table stage.
-        let n_switch =
-            cfg.atoms.iter().filter(|a| matches!(a, AtomSpec::Switch(_))).count().max(1);
+        let n_switch = cfg.atoms.iter().filter(|a| matches!(a, AtomSpec::Switch(_))).count().max(1);
         let a = ledger.profile().alus_per_stage;
         let cmp_stages = n_switch.div_ceil(a);
         let start = ledger.find_contiguous(0, cmp_stages + 1, a.min(n_switch), 0)?;
@@ -510,8 +509,7 @@ mod tests {
 
     #[test]
     fn resource_row_counts_rules() {
-        let row =
-            FilterPruner::table2_row(simple_gt(10), SwitchProfile::tofino1()).unwrap();
+        let row = FilterPruner::table2_row(simple_gt(10), SwitchProfile::tofino1()).unwrap();
         assert_eq!(row.alus, 1, "single predicate = 1 ALU (A.2.2)");
         assert!(row.rules >= 1);
     }

@@ -129,7 +129,6 @@ impl GroupByPruner {
     pub fn config(&self) -> &GroupByConfig {
         &self.cfg
     }
-
 }
 
 impl SwitchProgram for GroupByPruner {
@@ -141,6 +140,7 @@ impl SwitchProgram for GroupByPruner {
         let raw_key = pkt.value(0)?;
         let v = pkt.value(1)?.min(u64::from(u32::MAX)); // 32-bit aggregate value
         let key = self.key_fp.fingerprint(raw_key, self.cfg.key_bits) + 1; // nonzero
+
         // d-left pass: each column is probed at its own hash position. The
         // stateful ALU merges on a key match, installs on an empty cell,
         // and leaves other keys untouched — all single-comparison

@@ -94,8 +94,7 @@ impl HavingPruner {
         let a = ledger.profile().alus_per_stage;
         let stages = cfg.cm_rows.div_ceil(a);
         let per_row_bits = cfg.cm_counters as u64 * 64;
-        let start =
-            ledger.find_contiguous(0, stages, a.min(cfg.cm_rows), per_row_bits)?;
+        let start = ledger.find_contiguous(0, stages, a.min(cfg.cm_rows), per_row_bits)?;
         let mut rows = Vec::with_capacity(cfg.cm_rows);
         for i in 0..cfg.cm_rows {
             rows.push(ledger.register_array(start + i / a, cfg.cm_counters, 64)?);
@@ -233,11 +232,7 @@ impl SwitchProgram for SecondPassFilter {
 
     fn on_packet(&mut self, pkt: PacketRef<'_>) -> cheetah_switch::Result<Verdict> {
         let key = pkt.value(0)?;
-        Ok(if self.table.lookup_exact(key).is_some() {
-            Verdict::Forward
-        } else {
-            Verdict::Prune
-        })
+        Ok(if self.table.lookup_exact(key).is_some() { Verdict::Forward } else { Verdict::Prune })
     }
 
     fn control(&mut self, msg: &ControlMsg) -> cheetah_switch::Result<()> {

@@ -17,8 +17,9 @@
 //! per-edge treatment (each DAG edge gets its own flow id and resources).
 
 use crate::planner::{build_into, QuerySpec};
-use cheetah_switch::{HashFn, Pipeline, ProgramId, ProgramStats, ResourceLedger, SwitchProfile,
-    Verdict};
+use cheetah_switch::{
+    HashFn, Pipeline, ProgramId, ProgramStats, ResourceLedger, SwitchProfile, Verdict,
+};
 
 /// A two-level switch hierarchy running one pruning algorithm.
 pub struct MultiSwitch {
@@ -155,10 +156,12 @@ mod tests {
         let rows = 32;
         let stream: Vec<u64> = {
             let mut x = 7u64;
-            (0..60_000).map(|_| {
-                x = mix64(x);
-                x % 2_000
-            }).collect()
+            (0..60_000)
+                .map(|_| {
+                    x = mix64(x);
+                    x % 2_000
+                })
+                .collect()
         };
         // Single switch.
         let mut single = crate::pruner::StandalonePruner::new(

@@ -512,10 +512,7 @@ mod tests {
     #[test]
     fn table2_row_classic() {
         // Table 2 JOIN BF: 2 stages, SRAM 2·M (one filter per side).
-        let cfg = JoinConfig {
-            m_bits: 1 << 20,
-            ..JoinConfig::paper_default()
-        };
+        let cfg = JoinConfig { m_bits: 1 << 20, ..JoinConfig::paper_default() };
         let row = JoinPruner::table2_row(cfg, SwitchProfile::tofino1()).unwrap();
         assert_eq!(row.stages_used, 2);
         assert_eq!(row.sram_bits, 2 << 20);
@@ -549,9 +546,8 @@ mod tests {
             opt.offer_side(JoinSide::B, k);
         }
         opt.set_phase(2);
-        let fwd_a = (0..100u64)
-            .filter(|&k| opt.offer_side(JoinSide::A, k) == Verdict::Forward)
-            .count();
+        let fwd_a =
+            (0..100u64).filter(|&k| opt.offer_side(JoinSide::A, k) == Verdict::Forward).count();
         assert_eq!(fwd_a, 50);
     }
 

@@ -288,12 +288,15 @@ mod tests {
 
     #[test]
     fn join_plan_binds_both_sides() {
-        let mut p = plan(&QuerySpec::Join(JoinConfig {
-            m_bits: 1 << 12,
-            fid_a: 7,
-            fid_b: 8,
-            ..JoinConfig::paper_default()
-        }), SwitchProfile::tofino1())
+        let mut p = plan(
+            &QuerySpec::Join(JoinConfig {
+                m_bits: 1 << 12,
+                fid_a: 7,
+                fid_b: 8,
+                ..JoinConfig::paper_default()
+            }),
+            SwitchProfile::tofino1(),
+        )
         .unwrap();
         // Build pass consumes both sides.
         assert!(p.pipeline.process(7, &[1]).unwrap().is_prune());

@@ -2,7 +2,7 @@
 //!
 //! The Figure 10/11 simulations feed millions of entries through a single
 //! algorithm; a [`StandalonePruner`] wraps any
-//! [`SwitchProgram`](cheetah_switch::SwitchProgram) with its own epoch
+//! [`SwitchProgram`] with its own epoch
 //! counter and statistics so experiments don't need to stand up a whole
 //! [`Pipeline`](cheetah_switch::Pipeline). The [`OptPruner`] trait is the
 //! "OPT" line of those figures: an idealized stream algorithm with no

@@ -342,10 +342,7 @@ mod tests {
                 }
             }
             for sp in true_skyline(&points) {
-                assert!(
-                    forwarded.contains(&sp),
-                    "skyline point {sp:?} pruned under {policy:?}"
-                );
+                assert!(forwarded.contains(&sp), "skyline point {sp:?} pruned under {policy:?}");
             }
         }
     }
@@ -356,13 +353,10 @@ mod tests {
         p.offer(&[1, 1]).unwrap(); // h=2
         p.offer(&[5, 5]).unwrap(); // h=10
         p.offer(&[9, 9]).unwrap(); // h=18 — evicts h=2
+
         // Stored scores (biased +1): 19 and 11.
-        let scores: Vec<u64> = p
-            .program()
-            .slots
-            .iter()
-            .map(|s| s.score.control_read(0).unwrap())
-            .collect();
+        let scores: Vec<u64> =
+            p.program().slots.iter().map(|s| s.score.control_read(0).unwrap()).collect();
         assert_eq!(scores, vec![19, 11]);
     }
 
@@ -372,12 +366,8 @@ mod tests {
         p.offer(&[1, 1]).unwrap();
         p.offer(&[2, 2]).unwrap();
         p.offer(&[100, 100]).unwrap(); // slots full: not stored
-        let scores: Vec<u64> = p
-            .program()
-            .slots
-            .iter()
-            .map(|s| s.score.control_read(0).unwrap())
-            .collect();
+        let scores: Vec<u64> =
+            p.program().slots.iter().map(|s| s.score.control_read(0).unwrap()).collect();
         assert_eq!(scores, vec![3, 5], "baseline kept the first two points");
         // But (100,100) was forwarded (not dominated).
         assert_eq!(p.stats().forwarded, 3);

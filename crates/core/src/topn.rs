@@ -227,6 +227,7 @@ impl SwitchProgram for TopNRandPruner {
         self.arrival += 1;
         let row = self.row_rng.index(self.arrival, self.cfg.rows);
         let biased = v.saturating_add(1); // 0 = empty cell
+
         // Rolling minimum: each column keeps the larger of (carry, cell);
         // the displaced value carries to the next column. Rows stay sorted
         // in descending order, so after a pass with no insertion the last
@@ -466,12 +467,8 @@ mod tests {
             p.offer(&[x % 1000]).unwrap();
         }
         for row in 0..4 {
-            let vals: Vec<u64> = p
-                .program()
-                .cols
-                .iter()
-                .map(|c| c.control_read(row).unwrap())
-                .collect();
+            let vals: Vec<u64> =
+                p.program().cols.iter().map(|c| c.control_read(row).unwrap()).collect();
             assert!(vals.windows(2).all(|w| w[0] >= w[1]), "row {row} not sorted: {vals:?}");
         }
     }
@@ -509,10 +506,8 @@ mod tests {
         let mut opt = TopNOpt::new(2);
         // Stream 5, 3, 4, 1, 6: prefix-top2 membership on arrival:
         // 5 ✓, 3 ✓, 4 ✓ (beats 3), 1 ✗, 6 ✓.
-        let verdicts: Vec<bool> = [5u64, 3, 4, 1, 6]
-            .iter()
-            .map(|&v| opt.offer_opt(&[v]).is_prune())
-            .collect();
+        let verdicts: Vec<bool> =
+            [5u64, 3, 4, 1, 6].iter().map(|&v| opt.offer_opt(&[v]).is_prune()).collect();
         assert_eq!(verdicts, vec![false, false, false, true, false]);
     }
 

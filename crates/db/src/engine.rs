@@ -187,7 +187,7 @@ pub struct Cluster {
     /// compresses and packs entries; Cheetah cannot).
     pub baseline_compression: f64,
     /// Per-row software overhead of the *Spark* baseline, in nanoseconds,
-    /// scaled per query class by [`spark_overhead_ns`]. Our operators are
+    /// scaled per query class by [`spark_overhead_factor`]. Our operators are
     /// tight Rust loops; Spark's measured row rates are 10–100× slower
     /// (the paper's own Figure 5: 31.7M rows ≈ 8–10 s on five 2-core
     /// workers ⇒ ~1 µs/row for hash aggregation). Set to 0 to compare
@@ -219,7 +219,7 @@ pub fn spark_overhead_factor(q: &DbQuery) -> f64 {
         DbQuery::Join { .. } => 0.8,         // shuffle + hash probe
         DbQuery::Distinct { .. } | DbQuery::HavingSum { .. } => 1.0, // hash aggregate
         DbQuery::GroupByMax { .. } => 1.0,
-        DbQuery::Skyline { .. } => 1.5,      // pairwise dominance
+        DbQuery::Skyline { .. } => 1.5, // pairwise dominance
     }
 }
 
@@ -229,11 +229,11 @@ fn parallel_partials<T: Send>(
     parts: &[Partition],
     f: impl Fn(&Partition) -> T + Sync,
 ) -> (Vec<T>, f64) {
-    let results: Vec<(T, f64)> = crossbeam::thread::scope(|s| {
+    let results: Vec<(T, f64)> = std::thread::scope(|s| {
         let handles: Vec<_> = parts
             .iter()
             .map(|p| {
-                s.spawn(|_| {
+                s.spawn(|| {
                     let t0 = Instant::now();
                     let out = f(p);
                     (out, t0.elapsed().as_secs_f64())
@@ -241,8 +241,7 @@ fn parallel_partials<T: Send>(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope");
+    });
     let max = results.iter().map(|(_, d)| *d).fold(0.0f64, f64::max);
     (results.into_iter().map(|(t, _)| t).collect(), max)
 }
@@ -274,12 +273,7 @@ impl Cluster {
         let mut run = self.run_baseline_measured(q, left, right);
         // Charge the calibrated Spark software overhead to the busiest
         // worker (partitions are processed one task per worker).
-        let max_rows = left
-            .partitions()
-            .iter()
-            .map(Partition::rows)
-            .max()
-            .unwrap_or(0)
+        let max_rows = left.partitions().iter().map(Partition::rows).max().unwrap_or(0)
             + right
                 .map(|r| r.partitions().iter().map(Partition::rows).max().unwrap_or(0))
                 .unwrap_or(0);
@@ -303,7 +297,13 @@ impl Cluster {
                 let t0 = Instant::now();
                 let total: u64 = partials.iter().sum();
                 let mt = t0.elapsed().as_secs_f64();
-                self.baseline_run(QueryOutput::Count(total), wt, mt, partials.len() as u64 * 8, partials.len() as u64)
+                self.baseline_run(
+                    QueryOutput::Count(total),
+                    wt,
+                    mt,
+                    partials.len() as u64 * 8,
+                    partials.len() as u64,
+                )
             }
             DbQuery::Distinct { col } => {
                 let (partials, wt) =
@@ -346,10 +346,8 @@ impl Cluster {
                     ops::partial_groupby_max(*key_col, *val_col, p)
                 });
                 let entries: u64 = partials.iter().map(|m| m.len() as u64).sum();
-                let bytes: u64 = partials
-                    .iter()
-                    .flat_map(|m| m.keys().map(|k| k.wire_bytes() + 8))
-                    .sum();
+                let bytes: u64 =
+                    partials.iter().flat_map(|m| m.keys().map(|k| k.wire_bytes() + 8)).sum();
                 let t0 = Instant::now();
                 let merged = ops::merge_groupby_max(partials);
                 let out = QueryOutput::KeyedInts(merged.into_iter().collect());
@@ -378,10 +376,8 @@ impl Cluster {
                     ops::partial_sum_by_key(*key_col, *val_col, p)
                 });
                 let entries: u64 = partials.iter().map(|m| m.len() as u64).sum();
-                let bytes: u64 = partials
-                    .iter()
-                    .flat_map(|m| m.keys().map(|k| k.wire_bytes() + 8))
-                    .sum();
+                let bytes: u64 =
+                    partials.iter().flat_map(|m| m.keys().map(|k| k.wire_bytes() + 8)).sum();
                 let t0 = Instant::now();
                 let sums = ops::merge_sums(partials);
                 let out = QueryOutput::KeyedInts(
@@ -458,13 +454,13 @@ impl Cluster {
     {
         let parts = table.partitions();
         let indexed: Vec<(usize, &Partition)> = parts.iter().enumerate().collect();
-        let results: Vec<(Vec<Encoded>, f64)> = crossbeam::thread::scope(|s| {
+        let results: Vec<(Vec<Encoded>, f64)> = std::thread::scope(|s| {
             let handles: Vec<_> = indexed
                 .iter()
                 .map(|(pi, p)| {
                     let encode = &encode;
                     let pi = *pi;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let t0 = Instant::now();
                         let mut out = Vec::with_capacity(p.rows());
                         for r in 0..p.rows() {
@@ -475,8 +471,7 @@ impl Cluster {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("scope");
+        });
         let max = results.iter().map(|(_, d)| *d).fold(0.0f64, f64::max);
         (results.into_iter().map(|(v, _)| v).collect(), max)
     }
@@ -498,6 +493,9 @@ impl Cluster {
         Ok(survivors)
     }
 
+    // One parameter per measured phase; bundling them into a struct would
+    // just move the argument list one call up.
+    #[allow(clippy::too_many_arguments)]
     fn cheetah_result(
         &self,
         output: QueryOutput,
@@ -509,8 +507,7 @@ impl Cluster {
         stats: ProgramStats,
         rules: usize,
     ) -> CheetahRun {
-        let max_worker_entries =
-            streams.iter().map(|s| s.len() as u64).max().unwrap_or(0);
+        let max_worker_entries = streams.iter().map(|s| s.len() as u64).max().unwrap_or(0);
         CheetahRun {
             output,
             breakdown: ExecBreakdown {
@@ -526,7 +523,11 @@ impl Cluster {
         }
     }
 
-    fn cheetah_filter(&self, pred: &DbPredicate, table: &Table) -> cheetah_core::Result<CheetahRun> {
+    fn cheetah_filter(
+        &self,
+        pred: &DbPredicate,
+        table: &Table,
+    ) -> cheetah_core::Result<CheetahRun> {
         let (fcfg, slots) = filter_config_of(pred, self.tuning.seed);
         let mut plan = planner::plan(&QuerySpec::Filter(fcfg), self.profile.clone())?;
         let (streams, wt) = self.serialize(table, |p, r| {
@@ -577,10 +578,24 @@ impl Cluster {
         let out = QueryOutput::values(vals);
         let mt = t0.elapsed().as_secs_f64();
         let stats = plan.pipeline.stats(plan.program);
-        Ok(self.cheetah_result(out, wt, mt, &streams, survivors.len() as u64, 1, stats, plan.usage.rules))
+        Ok(self.cheetah_result(
+            out,
+            wt,
+            mt,
+            &streams,
+            survivors.len() as u64,
+            1,
+            stats,
+            plan.usage.rules,
+        ))
     }
 
-    fn cheetah_topn(&self, col: usize, n: usize, table: &Table) -> cheetah_core::Result<CheetahRun> {
+    fn cheetah_topn(
+        &self,
+        col: usize,
+        n: usize,
+        table: &Table,
+    ) -> cheetah_core::Result<CheetahRun> {
         let mut plan = planner::plan(&QuerySpec::TopNRand(self.tuning.topn), self.profile.clone())?;
         let (streams, wt) = self.serialize(table, |p, r| {
             vec![encode_i64_32(p.column(col).as_int().expect("int order col")[r])]
@@ -597,7 +612,16 @@ impl Cluster {
         let out = QueryOutput::top_values(ops::merge_topn(vec![vals], n));
         let mt = t0.elapsed().as_secs_f64();
         let stats = plan.pipeline.stats(plan.program);
-        Ok(self.cheetah_result(out, wt, mt, &streams, survivors.len() as u64, 1, stats, plan.usage.rules))
+        Ok(self.cheetah_result(
+            out,
+            wt,
+            mt,
+            &streams,
+            survivors.len() as u64,
+            1,
+            stats,
+            plan.usage.rules,
+        ))
     }
 
     fn cheetah_groupby(
@@ -633,7 +657,16 @@ impl Cluster {
         let out = QueryOutput::KeyedInts(best.into_iter().collect());
         let mt = t0.elapsed().as_secs_f64();
         let stats = plan.pipeline.stats(plan.program);
-        Ok(self.cheetah_result(out, wt, mt, &streams, survivors.len() as u64, 1, stats, plan.usage.rules))
+        Ok(self.cheetah_result(
+            out,
+            wt,
+            mt,
+            &streams,
+            survivors.len() as u64,
+            1,
+            stats,
+            plan.usage.rules,
+        ))
     }
 
     fn cheetah_skyline(&self, cols: &[usize], table: &Table) -> cheetah_core::Result<CheetahRun> {
@@ -662,7 +695,16 @@ impl Cluster {
         let out = QueryOutput::points(ops::skyline_of(&pts));
         let mt = t0.elapsed().as_secs_f64();
         let stats = plan.pipeline.stats(plan.program);
-        Ok(self.cheetah_result(out, wt, mt, &streams, survivors.len() as u64, 1, stats, plan.usage.rules))
+        Ok(self.cheetah_result(
+            out,
+            wt,
+            mt,
+            &streams,
+            survivors.len() as u64,
+            1,
+            stats,
+            plan.usage.rules,
+        ))
     }
 
     fn cheetah_join(
@@ -748,8 +790,7 @@ impl Cluster {
         let mt = t0.elapsed().as_secs_f64();
         let stats = plan.pipeline.stats(plan.program);
         let survivors = (surv_l.len() + surv_r.len()) as u64;
-        let all_streams: Vec<Vec<Encoded>> =
-            lstreams.into_iter().chain(rstreams).collect();
+        let all_streams: Vec<Vec<Encoded>> = lstreams.into_iter().chain(rstreams).collect();
         let passes = match mode {
             JoinMode::TwoPass => 2,
             JoinMode::SmallTableFirst => 1, // each table streams exactly once
@@ -923,9 +964,7 @@ mod tests {
 
     fn all_queries() -> Vec<DbQuery> {
         vec![
-            DbQuery::FilterCount {
-                pred: DbPredicate::CmpInt { col: 2, op: IntCmp::Lt, lit: 10 },
-            },
+            DbQuery::FilterCount { pred: DbPredicate::CmpInt { col: 2, op: IntCmp::Lt, lit: 10 } },
             DbQuery::Distinct { col: 0 },
             DbQuery::TopN { order_col: 1, n: 25 },
             DbQuery::GroupByMax { key_col: 0, val_col: 1 },
@@ -973,17 +1012,14 @@ mod tests {
         // The optimization halves the wire passes.
         assert_eq!(two_pass.breakdown.passes, 2);
         assert_eq!(small_first.breakdown.passes, 1);
-        assert!(
-            small_first.breakdown.worker_wire_bytes < two_pass.breakdown.worker_wire_bytes
-        );
+        assert!(small_first.breakdown.worker_wire_bytes < two_pass.breakdown.worker_wire_bytes);
     }
 
     #[test]
     fn spark_overhead_calibration_is_applied() {
         let q = DbQuery::Distinct { col: 0 };
         let t = test_table(2_000, 2);
-        let mut cluster = Cluster::default();
-        cluster.spark_row_overhead_ns = 0.0;
+        let mut cluster = Cluster { spark_row_overhead_ns: 0.0, ..Cluster::default() };
         let raw = cluster.run_baseline(&q, &t, None);
         cluster.spark_row_overhead_ns = 1_000.0;
         let calibrated = cluster.run_baseline(&q, &t, None);

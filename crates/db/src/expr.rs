@@ -49,8 +49,7 @@ impl LikePattern {
     pub fn parse(pattern: &str) -> Self {
         let anchored_start = !pattern.starts_with('%');
         let anchored_end = !pattern.ends_with('%');
-        let segments =
-            pattern.split('%').filter(|s| !s.is_empty()).map(str::to_string).collect();
+        let segments = pattern.split('%').filter(|s| !s.is_empty()).map(str::to_string).collect();
         Self { segments, anchored_start, anchored_end }
     }
 

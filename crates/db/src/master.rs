@@ -56,7 +56,7 @@ impl MasterIngestModel {
         let mut guard = 0;
         while processed < n - 1e-9 && guard < 1_000_000 {
             let rate = self.base_service_rate / (1.0 + backlog / self.backlog_halving);
-            let dt = (backlog / rate).max(1e-9).min(0.01);
+            let dt = (backlog / rate).clamp(1e-9, 0.01);
             let served = (rate * dt).min(backlog);
             backlog -= served;
             processed += served;

@@ -91,9 +91,8 @@ pub fn partial_groupby_max(
 ) -> HashMap<Value, i64> {
     let vals = part.column(val_col).as_int().expect("aggregate on int column");
     let mut out: HashMap<Value, i64> = HashMap::new();
-    for row in 0..part.rows() {
+    for (row, &v) in vals.iter().enumerate() {
         let k = part.column(key_col).get(row);
-        let v = vals[row];
         out.entry(k).and_modify(|m| *m = (*m).max(v)).or_insert(v);
     }
     out
@@ -111,16 +110,12 @@ pub fn merge_groupby_max(partials: Vec<HashMap<Value, i64>>) -> HashMap<Value, i
 }
 
 /// Worker partial: per-key sum of an int column.
-pub fn partial_sum_by_key(
-    key_col: usize,
-    val_col: usize,
-    part: &Partition,
-) -> HashMap<Value, i64> {
+pub fn partial_sum_by_key(key_col: usize, val_col: usize, part: &Partition) -> HashMap<Value, i64> {
     let vals = part.column(val_col).as_int().expect("aggregate on int column");
     let mut out: HashMap<Value, i64> = HashMap::new();
-    for row in 0..part.rows() {
+    for (row, &v) in vals.iter().enumerate() {
         let k = part.column(key_col).get(row);
-        *out.entry(k).or_insert(0) += vals[row];
+        *out.entry(k).or_insert(0) += v;
     }
     out
 }
@@ -159,10 +154,8 @@ pub fn skyline_of(points: &[Vec<i64>]) -> Vec<Vec<i64>> {
 
 /// Worker partial: local skyline of a partition's dimension columns.
 pub fn partial_skyline(cols: &[usize], part: &Partition) -> Vec<Vec<i64>> {
-    let dims: Vec<&[i64]> = cols
-        .iter()
-        .map(|&c| part.column(c).as_int().expect("skyline on int columns"))
-        .collect();
+    let dims: Vec<&[i64]> =
+        cols.iter().map(|&c| part.column(c).as_int().expect("skyline on int columns")).collect();
     let points: Vec<Vec<i64>> =
         (0..part.rows()).map(|r| dims.iter().map(|d| d[r]).collect()).collect();
     skyline_of(&points)

@@ -42,7 +42,7 @@ pub struct SimRng {
 impl SimRng {
     /// Seeded RNG.
     pub fn new(seed: u64) -> Self {
-        Self { state: seed ^ 0x5EED_0F_CAFE }
+        Self { state: seed ^ 0x5E_ED0F_CAFE }
     }
 
     /// Next u64.
@@ -183,8 +183,7 @@ mod tests {
 
     #[test]
     fn drop_rate_approximates_profile() {
-        let mut l =
-            Link::new(1e12, 0, FaultProfile { drop_prob: 0.3, corrupt_prob: 0.0 }, 42);
+        let mut l = Link::new(1e12, 0, FaultProfile { drop_prob: 0.3, corrupt_prob: 0.0 }, 42);
         let n = 20_000;
         let mut dropped = 0;
         for i in 0..n {
@@ -198,16 +197,12 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_bit() {
-        let mut l =
-            Link::new(1e12, 0, FaultProfile { drop_prob: 0.0, corrupt_prob: 1.0 }, 9);
+        let mut l = Link::new(1e12, 0, FaultProfile { drop_prob: 0.0, corrupt_prob: 1.0 }, 9);
         let orig = Bytes::from_static(b"hello world");
         match l.offer(0, orig.clone(), 64) {
             LinkOutcome::Deliver { bytes, .. } => {
-                let diff: u32 = orig
-                    .iter()
-                    .zip(bytes.iter())
-                    .map(|(a, b)| (a ^ b).count_ones())
-                    .sum();
+                let diff: u32 =
+                    orig.iter().zip(bytes.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
                 assert_eq!(diff, 1);
             }
             LinkOutcome::Dropped => panic!("should not drop"),

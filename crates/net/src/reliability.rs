@@ -136,8 +136,7 @@ impl WorkerFlow {
             return Vec::new();
         }
         let hi = (self.base + self.window).min(self.next);
-        let out: Vec<u64> =
-            (self.base..hi).filter(|s| !self.acked.contains(s)).collect();
+        let out: Vec<u64> = (self.base..hi).filter(|s| !self.acked.contains(s)).collect();
         self.retransmissions += out.len() as u64;
         self.timer_epoch += 1;
         out

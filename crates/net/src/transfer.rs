@@ -49,7 +49,7 @@ impl Default for TransferConfig {
             latency_ns: 1_000,
             faults: FaultProfile::lossless(),
             window: 64,
-            rto_ns: 2_000_000, // 2 ms
+            rto_ns: 2_000_000,       // 2 ms
             max_ns: 120_000_000_000, // 2 minutes of simulated time
             seed: 0x7AB5,
         }
@@ -128,8 +128,11 @@ pub struct TransferSim<'a> {
     /// id `w`.
     streams: Vec<Vec<Vec<u64>>>,
     /// The switch's pruning function: `(fid, values) → verdict`.
-    pruner: Box<dyn FnMut(u32, &[u64]) -> Verdict + 'a>,
+    pruner: PrunerFn<'a>,
 }
+
+/// The switch's pruning function: `(fid, values) → verdict`.
+pub type PrunerFn<'a> = Box<dyn FnMut(u32, &[u64]) -> Verdict + 'a>;
 
 impl<'a> TransferSim<'a> {
     /// Build a simulation over per-worker entry streams.
@@ -204,8 +207,7 @@ impl<'a> TransferSim<'a> {
                 let values = self.streams[w][(seq - 1) as usize].clone();
                 let pkt = Packet::Data(DataPacket { fid: w as u32, seq, values });
                 let wire = pkt.wire_bytes();
-                if let LinkOutcome::Deliver { at, bytes } = uplinks[w].offer(0, pkt.emit(), wire)
-                {
+                if let LinkOutcome::Deliver { at, bytes } = uplinks[w].offer(0, pkt.emit(), wire) {
                     push(&mut heap, at, Event::SwitchRx(bytes));
                 }
             }
@@ -236,33 +238,31 @@ impl<'a> TransferSim<'a> {
                                 continue;
                             }
                             match switch_flows[w].classify(d.seq) {
-                                SwitchAction::Process => {
-                                    match (self.pruner)(d.fid, &d.values) {
-                                        Verdict::Prune => {
-                                            switch_acks += 1;
-                                            let ack = Packet::Ack(AckPacket {
-                                                fid: d.fid,
-                                                seq: d.seq,
-                                                source: AckSource::SwitchPruned,
-                                            });
-                                            let wire = ack.wire_bytes();
-                                            if let LinkOutcome::Deliver { at, bytes } =
-                                                ack_links[w].offer(now, ack.emit(), wire)
-                                            {
-                                                push(&mut heap, at, Event::WorkerRx(w, bytes));
-                                            }
-                                        }
-                                        Verdict::Forward => {
-                                            let fwd = Packet::Data(d);
-                                            let wire = fwd.wire_bytes();
-                                            if let LinkOutcome::Deliver { at, bytes } =
-                                                downlink.offer(now, fwd.emit(), wire)
-                                            {
-                                                push(&mut heap, at, Event::MasterRx(bytes));
-                                            }
+                                SwitchAction::Process => match (self.pruner)(d.fid, &d.values) {
+                                    Verdict::Prune => {
+                                        switch_acks += 1;
+                                        let ack = Packet::Ack(AckPacket {
+                                            fid: d.fid,
+                                            seq: d.seq,
+                                            source: AckSource::SwitchPruned,
+                                        });
+                                        let wire = ack.wire_bytes();
+                                        if let LinkOutcome::Deliver { at, bytes } =
+                                            ack_links[w].offer(now, ack.emit(), wire)
+                                        {
+                                            push(&mut heap, at, Event::WorkerRx(w, bytes));
                                         }
                                     }
-                                }
+                                    Verdict::Forward => {
+                                        let fwd = Packet::Data(d);
+                                        let wire = fwd.wire_bytes();
+                                        if let LinkOutcome::Deliver { at, bytes } =
+                                            downlink.offer(now, fwd.emit(), wire)
+                                        {
+                                            push(&mut heap, at, Event::MasterRx(bytes));
+                                        }
+                                    }
+                                },
                                 SwitchAction::ForwardStale => {
                                     forwarded_stale += 1;
                                     let fwd = Packet::Data(d);
@@ -305,10 +305,7 @@ impl<'a> TransferSim<'a> {
                                 continue;
                             }
                             if master_flows[w].on_data(d.seq) {
-                                delivered
-                                    .entry(d.fid)
-                                    .or_default()
-                                    .insert(d.seq, d.values.clone());
+                                delivered.entry(d.fid).or_default().insert(d.seq, d.values.clone());
                             }
                             let ack = Packet::Ack(AckPacket {
                                 fid: d.fid,
@@ -353,13 +350,9 @@ impl<'a> TransferSim<'a> {
                                 // Window advanced: send fresh packets.
                                 let seqs = workers[w].sendable();
                                 for seq in seqs {
-                                    let values =
-                                        self.streams[w][(seq - 1) as usize].clone();
-                                    let pkt = Packet::Data(DataPacket {
-                                        fid: w as u32,
-                                        seq,
-                                        values,
-                                    });
+                                    let values = self.streams[w][(seq - 1) as usize].clone();
+                                    let pkt =
+                                        Packet::Data(DataPacket { fid: w as u32, seq, values });
                                     let wire = pkt.wire_bytes();
                                     if let LinkOutcome::Deliver { at, bytes } =
                                         uplinks[w].offer(now, pkt.emit(), wire)
@@ -372,10 +365,8 @@ impl<'a> TransferSim<'a> {
                             }
                             if workers[w].all_acked() && !fin_sent[w] {
                                 fin_sent[w] = true;
-                                let fin = Packet::Fin {
-                                    fid: w as u32,
-                                    last_seq: workers[w].total(),
-                                };
+                                let fin =
+                                    Packet::Fin { fid: w as u32, last_seq: workers[w].total() };
                                 let wire = fin.wire_bytes();
                                 if let LinkOutcome::Deliver { at, bytes } =
                                     uplinks[w].offer(now, fin.emit(), wire)
@@ -453,18 +444,13 @@ mod tests {
 
     /// Streams: one value per entry, `count` entries per worker.
     fn streams(workers: usize, count: u64) -> Vec<Vec<Vec<u64>>> {
-        (0..workers)
-            .map(|w| (0..count).map(|i| vec![(w as u64) << 32 | i]).collect())
-            .collect()
+        (0..workers).map(|w| (0..count).map(|i| vec![(w as u64) << 32 | i]).collect()).collect()
     }
 
     #[test]
     fn lossless_transfer_delivers_everything_unpruned() {
-        let sim = TransferSim::new(
-            TransferConfig::default(),
-            streams(3, 200),
-            |_, _| Verdict::Forward,
-        );
+        let sim =
+            TransferSim::new(TransferConfig::default(), streams(3, 200), |_, _| Verdict::Forward);
         let report = sim.run();
         assert!(report.completed);
         assert_eq!(report.delivered_unique(), 600);
@@ -576,8 +562,7 @@ mod tests {
 
     #[test]
     fn faster_downlink_does_not_change_delivery() {
-        let mut cfg = TransferConfig::default();
-        cfg.downlink_bps = 20e9;
+        let cfg = TransferConfig { downlink_bps: 20e9, ..TransferConfig::default() };
         let sim = TransferSim::new(cfg, streams(2, 100), |_, _| Verdict::Forward);
         let report = sim.run();
         assert_eq!(report.delivered_unique(), 200);
@@ -601,9 +586,8 @@ mod tests {
 
     #[test]
     fn empty_streams_complete_immediately() {
-        let sim = TransferSim::new(TransferConfig::default(), streams(2, 0), |_, _| {
-            Verdict::Forward
-        });
+        let sim =
+            TransferSim::new(TransferConfig::default(), streams(2, 0), |_, _| Verdict::Forward);
         let report = sim.run();
         // Workers with nothing to send: all_acked() is true from the
         // start, but FINs only go out on ACK receipt — the timer path

@@ -180,8 +180,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(SwitchError::UnsupportedOp { op: "multiply" });
+        let e: Box<dyn std::error::Error> = Box::new(SwitchError::UnsupportedOp { op: "multiply" });
         assert!(e.to_string().contains("multiply"));
     }
 }

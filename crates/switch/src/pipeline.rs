@@ -44,10 +44,10 @@ pub struct PacketRef<'a> {
 impl<'a> PacketRef<'a> {
     /// Value at `i`, or a shape error naming what the program expected.
     pub fn value(&self, i: usize) -> Result<u64> {
-        self.values.get(i).copied().ok_or(SwitchError::BadPacketShape {
-            expected: i + 1,
-            got: self.values.len(),
-        })
+        self.values
+            .get(i)
+            .copied()
+            .ok_or(SwitchError::BadPacketShape { expected: i + 1, got: self.values.len() })
     }
 }
 

@@ -89,10 +89,8 @@ impl RegisterArray {
             self.used_this_epoch = 0;
         }
         let depth = self.cells.len();
-        let cell = self
-            .cells
-            .get_mut(index)
-            .ok_or(SwitchError::IndexOutOfBounds { index, depth })?;
+        let cell =
+            self.cells.get_mut(index).ok_or(SwitchError::IndexOutOfBounds { index, depth })?;
         self.last_epoch = epoch;
         self.used_this_epoch += 1;
         let old = *cell;
@@ -123,10 +121,8 @@ impl RegisterArray {
     /// Control-plane write (rule/parameter installation).
     pub fn control_write(&mut self, index: usize, value: u64) -> Result<()> {
         let depth = self.cells.len();
-        let cell = self
-            .cells
-            .get_mut(index)
-            .ok_or(SwitchError::IndexOutOfBounds { index, depth })?;
+        let cell =
+            self.cells.get_mut(index).ok_or(SwitchError::IndexOutOfBounds { index, depth })?;
         *cell = value & self.mask;
         Ok(())
     }

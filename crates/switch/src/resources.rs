@@ -2,8 +2,8 @@
 //!
 //! Every pruning program must *allocate* the stages, ALUs, SRAM, TCAM and PHV
 //! bits it uses from a [`ResourceLedger`] before it may process packets. A
-//! configuration that exceeds the [`SwitchProfile`](crate::SwitchProfile)
-//! fails with a precise [`SwitchError`](crate::SwitchError) — this is how the
+//! configuration that exceeds the [`SwitchProfile`]
+//! fails with a precise [`SwitchError`] — this is how the
 //! repository reproduces Table 2 of the paper: the numbers in the table are
 //! read back from the ledger, not hand-written.
 

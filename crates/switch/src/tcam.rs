@@ -60,7 +60,7 @@ impl<A: Clone> TernaryTable<A> {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.entries.sort_by(|a, b| b.priority.cmp(&a.priority));
+            self.entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
             self.sorted = true;
         }
     }

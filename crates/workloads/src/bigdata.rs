@@ -16,11 +16,8 @@ use cheetah_db::{DataType, Table, TableBuilder, Value};
 use cheetah_switch::hash::mix64;
 
 /// Rankings schema: column name / type pairs, in order.
-pub const RANKINGS_SCHEMA: [(&str, DataType); 3] = [
-    ("pageURL", DataType::Str),
-    ("pageRank", DataType::Int),
-    ("avgDuration", DataType::Int),
-];
+pub const RANKINGS_SCHEMA: [(&str, DataType); 3] =
+    [("pageURL", DataType::Str), ("pageRank", DataType::Int), ("avgDuration", DataType::Int)];
 
 /// UserVisits schema: column name / type pairs, in order.
 pub const USERVISITS_SCHEMA: [(&str, DataType); 9] = [
@@ -142,7 +139,13 @@ impl BigDataConfig {
         let mut x = self.seed ^ 0x7157;
         for _ in 0..n {
             x = mix64(x);
-            let ip = format!("{}.{}.{}.{}", x % 223 + 1, (x >> 8) % 256, (x >> 16) % 256, (x >> 24) % 256);
+            let ip = format!(
+                "{}.{}.{}.{}",
+                x % 223 + 1,
+                (x >> 8) % 256,
+                (x >> 16) % 256,
+                (x >> 24) % 256
+            );
             let dest = format!("url_{}", urls.sample());
             x = mix64(x);
             let visit_date = 20_000_000 + (x % 10_000) as i64;
@@ -272,11 +275,8 @@ mod tests {
         let cfg = small();
         let r = cfg.rankings();
         let v = cfg.uservisits();
-        let urls: HashSet<&String> = r
-            .partitions()
-            .iter()
-            .flat_map(|p| p.column(0).as_str().unwrap().iter())
-            .collect();
+        let urls: HashSet<&String> =
+            r.partitions().iter().flat_map(|p| p.column(0).as_str().unwrap().iter()).collect();
         let matching = v
             .partitions()
             .iter()

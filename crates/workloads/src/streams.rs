@@ -110,7 +110,7 @@ pub fn join_streams(
     seed: u64,
 ) -> (Vec<u64>, Vec<u64>) {
     let a: Vec<u64> = (0..n_a).map(|i| encode_value(i as u64, seed)).collect();
-    let mut x = seed ^ 0x10_1;
+    let mut x = seed ^ 0x101;
     let b: Vec<u64> = (0..n_b)
         .map(|i| {
             x = mix64(x);

@@ -15,10 +15,8 @@ use cheetah::workloads::bigdata::BigDataConfig;
 const LINK_GBPS: f64 = 10.0;
 
 fn main() {
-    let rows: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("row count"))
-        .unwrap_or(200_000);
+    let rows: usize =
+        std::env::args().nth(1).map(|s| s.parse().expect("row count")).unwrap_or(200_000);
     let bd = BigDataConfig {
         uservisits_rows: rows,
         rankings_rows: rows / 2,
@@ -57,10 +55,7 @@ fn main() {
         (
             "3: skyline pageRank, avgDuration",
             DbQuery::Skyline {
-                cols: vec![
-                    BigDataConfig::RANKINGS_PAGE_RANK,
-                    BigDataConfig::RANKINGS_AVG_DURATION,
-                ],
+                cols: vec![BigDataConfig::RANKINGS_PAGE_RANK, BigDataConfig::RANKINGS_AVG_DURATION],
             },
             &rankings,
             None,

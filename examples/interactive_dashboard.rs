@@ -13,8 +13,8 @@
 //! ```
 
 use cheetah::algorithms::{
-    AggKind, AtomSpec, BoolExpr, CmpOp, DistinctConfig, EvictionPolicy, ExternalMode,
-    FilterConfig, GroupByConfig, PackedQueries, Predicate, QuerySpec,
+    AggKind, AtomSpec, BoolExpr, CmpOp, DistinctConfig, EvictionPolicy, ExternalMode, FilterConfig,
+    GroupByConfig, PackedQueries, Predicate, QuerySpec,
 };
 use cheetah::switch::hash::mix64;
 use cheetah::switch::SwitchProfile;
@@ -58,10 +58,7 @@ fn main() {
         u.tcam_entries,
         u.rules
     );
-    println!(
-        "  rule install: {:?} (paper: tens of rules, < 1 ms)\n",
-        packed.install_time
-    );
+    println!("  rule install: {:?} (paper: tens of rules, < 1 ms)\n", packed.install_time);
 
     // Simulate the dashboard's live traffic: interleaved packets of the
     // three flows. §6 semantics: every program sees every packet; the
@@ -90,10 +87,9 @@ fn main() {
 
     println!("{:<28} {:>10} {:>10} {:>9}", "query", "seen", "forwarded", "pruned%");
     println!("{}", "-".repeat(62));
-    for (name, id) in
-        ["filter latency>250", "distinct client_id", "max latency by region"]
-            .iter()
-            .zip(&packed.programs)
+    for (name, id) in ["filter latency>250", "distinct client_id", "max latency by region"]
+        .iter()
+        .zip(&packed.programs)
     {
         let s = packed.pipeline.stats(*id);
         println!(

@@ -42,13 +42,9 @@ fn ratings() -> Table {
         ],
         2,
     );
-    for (n, ta, te) in [
-        ("Pizza", 7, 5),
-        ("Cheetos", 8, 6),
-        ("Jello", 9, 4),
-        ("Burger", 5, 7),
-        ("Fries", 3, 3),
-    ] {
+    for (n, ta, te) in
+        [("Pizza", 7, 5), ("Cheetos", 8, 6), ("Jello", 9, 4), ("Burger", 5, 7), ("Fries", 3, 3)]
+    {
         b.push_row(vec![Value::Str(n.into()), Value::Int(ta), Value::Int(te)]);
     }
     b.build()
@@ -104,7 +100,11 @@ fn main() {
     let base = cluster.run_baseline(&join, &products, Some(&ratings));
     let chee = cluster.run_cheetah(&join, &products, Some(&ratings)).expect("plan");
     assert_eq!(base.output, chee.output);
-    show("Products JOIN Ratings ON name", &chee.output, chee.switch_stats.pruned_fraction() * 100.0);
+    show(
+        "Products JOIN Ratings ON name",
+        &chee.output,
+        chee.switch_stats.pruned_fraction() * 100.0,
+    );
 
     println!("\nEvery query produced identical output on both paths — Q(A_Q(D)) = Q(D).");
     println!("(Tiny tables prune little; run the bigdata_benchmark example for scale.)");

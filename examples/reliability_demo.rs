@@ -38,8 +38,7 @@ fn main() {
                 .collect()
         })
         .collect();
-    let ground_truth: HashSet<u64> =
-        streams.iter().flatten().map(|v| v[0]).collect();
+    let ground_truth: HashSet<u64> = streams.iter().flatten().map(|v| v[0]).collect();
 
     // The switch runs a DISTINCT pruner.
     let mut ledger = ResourceLedger::new(SwitchProfile::tofino1());
@@ -84,11 +83,8 @@ fn main() {
 
     // The master completes the DISTINCT query from whatever arrived —
     // any superset of the unpruned entries yields the same output.
-    let master_distinct: HashSet<u64> = report
-        .delivered
-        .values()
-        .flat_map(|m| m.values().map(|v| v[0]))
-        .collect();
+    let master_distinct: HashSet<u64> =
+        report.delivered.values().flat_map(|m| m.values().map(|v| v[0])).collect();
     assert_eq!(master_distinct, ground_truth, "DISTINCT output must survive the losses");
     println!(
         "\nmaster DISTINCT output: {} values — identical to the lossless ground truth ✓",

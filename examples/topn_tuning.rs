@@ -30,10 +30,7 @@ fn main() {
         }
     }
     let (d_opt, w_opt) = analysis::topn_optimize_dw(n, delta);
-    println!(
-        "\nLambert-W space optimum: d = {d_opt}, w = {w_opt} ({} cells)\n",
-        d_opt * w_opt
-    );
+    println!("\nLambert-W space optimum: d = {d_opt}, w = {w_opt} ({} cells)\n", d_opt * w_opt);
 
     // Measure: run each configuration over a random stream and check both
     // the success criterion and the pruning rate.
@@ -51,9 +48,7 @@ fn main() {
     sorted.sort_unstable_by(|a, b| b.cmp(a));
     let cutoff = sorted[n - 1];
 
-    println!(
-        "measured over a {m}-entry random stream (expected unpruned per Thm 3 in brackets):"
-    );
+    println!("measured over a {m}-entry random stream (expected unpruned per Thm 3 in brackets):");
     let opt = (d_opt, w_opt, "optimal");
     let generous = (d_opt * 4, w_opt, "4x rows");
     let starved = (64usize, 2usize, "starved (!)");

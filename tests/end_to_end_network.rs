@@ -135,11 +135,9 @@ fn topn_over_lossy_network_keeps_the_top() {
     let mut all: Vec<u64> = streams.iter().flatten().map(|v| v[0]).collect();
     all.sort_unstable_by(|a, b| b.cmp(a));
     let truth: Vec<u64> = all[..n].to_vec();
-    let program = TopNRandPruner::build(
-        TopNRandConfig { rows: 512, cols: 8, seed: 6 },
-        &mut ledger(),
-    )
-    .unwrap();
+    let program =
+        TopNRandPruner::build(TopNRandConfig { rows: 512, cols: 8, seed: 6 }, &mut ledger())
+            .unwrap();
     let report = transfer(lossy(0xE2E3), streams, program);
     assert!(report.completed);
     let mut got: Vec<u64> =

@@ -3,8 +3,9 @@
 
 use cheetah::algorithms::batch::{BatchedDistinct, BatchedDistinctConfig};
 use cheetah::algorithms::hierarchy::MultiSwitch;
-use cheetah::algorithms::{DistinctConfig, DistinctPruner, EvictionPolicy, QuerySpec,
-    StandalonePruner};
+use cheetah::algorithms::{
+    DistinctConfig, DistinctPruner, EvictionPolicy, QuerySpec, StandalonePruner,
+};
 use cheetah::switch::hash::mix64;
 use cheetah::switch::{ResourceLedger, SwitchProfile, Verdict};
 use cheetah::workloads::streams;
@@ -129,10 +130,7 @@ fn hierarchy_scales_with_leaf_count() {
         }
         fractions.push(h.unpruned_fraction());
     }
-    assert!(
-        fractions[2] < fractions[0],
-        "16 leaves must beat 1 leaf: {fractions:?}"
-    );
+    assert!(fractions[2] < fractions[0], "16 leaves must beat 1 leaf: {fractions:?}");
 }
 
 #[test]

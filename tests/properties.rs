@@ -4,9 +4,8 @@
 
 use cheetah::algorithms::filter::{AtomSpec, BoolExpr, ExternalMode, FilterConfig};
 use cheetah::algorithms::{
-    CmpOp, DistinctConfig, DistinctPruner, EvictionPolicy, FilterPruner, Predicate,
-    SkylineConfig, SkylinePolicy, SkylinePruner, StandalonePruner, TopNRandConfig,
-    TopNRandPruner,
+    CmpOp, DistinctConfig, DistinctPruner, EvictionPolicy, FilterPruner, Predicate, SkylineConfig,
+    SkylinePolicy, SkylinePruner, StandalonePruner, TopNRandConfig, TopNRandPruner,
 };
 use cheetah::net::{DataPacket, Packet, SwitchAction, SwitchFlow, WorkerFlow};
 use cheetah::switch::{ResourceLedger, SwitchProfile, Verdict};
@@ -272,7 +271,7 @@ proptest! {
                 1 => BoolExpr::Const(true),
                 _ if depth < 3 => BoolExpr::Or(vec![
                     build(shape / 3, depth + 1),
-                    BoolExpr::Const(shape % 2 == 0),
+                    BoolExpr::Const(shape.is_multiple_of(2)),
                 ]),
                 _ => BoolExpr::Const(false),
             }

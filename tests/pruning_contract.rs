@@ -5,8 +5,9 @@
 //! Property-based: tables are generated from arbitrary seeds/shapes and
 //! every query shape is executed on both paths.
 
-use cheetah::db::{Cluster, DataType, DbPredicate, DbQuery, IntCmp, LikePattern, Table,
-    TableBuilder, Value};
+use cheetah::db::{
+    Cluster, DataType, DbPredicate, DbQuery, IntCmp, LikePattern, Table, TableBuilder, Value,
+};
 use cheetah::switch::hash::mix64;
 use proptest::prelude::*;
 
@@ -144,7 +145,11 @@ fn all_identical_rows() {
     // Degenerate distributions stress the dedup paths.
     let mut b = TableBuilder::new(
         "t",
-        vec![("key".into(), DataType::Str), ("a".into(), DataType::Int), ("b".into(), DataType::Int)],
+        vec![
+            ("key".into(), DataType::Str),
+            ("a".into(), DataType::Int),
+            ("b".into(), DataType::Int),
+        ],
         10,
     );
     for _ in 0..500 {

@@ -5,9 +5,9 @@
 //! fitting.
 
 use cheetah::algorithms::{
-    planner, AtomSpec, BoolExpr, CmpOp, DistinctConfig, EvictionPolicy,
-    ExternalMode, FilterConfig, GroupByConfig, HavingConfig, JoinConfig, PackedQueries,
-    Predicate, QuerySpec, SkylineConfig, SkylinePolicy, TopNDetConfig, TopNRandConfig,
+    planner, AtomSpec, BoolExpr, CmpOp, DistinctConfig, EvictionPolicy, ExternalMode, FilterConfig,
+    GroupByConfig, HavingConfig, JoinConfig, PackedQueries, Predicate, QuerySpec, SkylineConfig,
+    SkylinePolicy, TopNDetConfig, TopNRandConfig,
 };
 use cheetah::switch::{SwitchError, SwitchProfile};
 use std::time::Duration;
@@ -64,12 +64,10 @@ fn resource_styles_differ_by_algorithm() {
     )
     .unwrap()
     .usage;
-    let join = planner::plan(
-        &QuerySpec::Join(JoinConfig::paper_default()),
-        SwitchProfile::tofino2(),
-    )
-    .unwrap()
-    .usage;
+    let join =
+        planner::plan(&QuerySpec::Join(JoinConfig::paper_default()), SwitchProfile::tofino2())
+            .unwrap()
+            .usage;
     assert!(sky.stages_used > join.stages_used);
     assert!(join.sram_bits > sky.sram_bits * 100);
 }
@@ -132,7 +130,8 @@ fn packing_order_independence_for_disjoint_resources() {
     // ledger is order-sensitive for placement but the budget question has
     // one answer for these sizes).
     let a = QuerySpec::Distinct(DistinctConfig { rows: 512, ..DistinctConfig::paper_default() });
-    let b = QuerySpec::GroupBy(GroupByConfig { rows: 512, cols: 4, ..GroupByConfig::paper_default() });
+    let b =
+        QuerySpec::GroupBy(GroupByConfig { rows: 512, cols: 4, ..GroupByConfig::paper_default() });
     let c = QuerySpec::TopNDet(TopNDetConfig::paper_default());
     for order in [
         vec![a.clone(), b.clone(), c.clone()],

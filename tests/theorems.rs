@@ -109,11 +109,8 @@ fn theorem3_randomized_topn_unpruned_bound() {
     let m = 500_000u64;
     let stream = streams::random_values(m as usize, u64::MAX, 0x7E03);
     let mut p = StandalonePruner::new(
-        TopNRandPruner::build(
-            TopNRandConfig { rows: d, cols: w, seed: 9 },
-            &mut big_ledger(),
-        )
-        .unwrap(),
+        TopNRandPruner::build(TopNRandConfig { rows: d, cols: w, seed: 9 }, &mut big_ledger())
+            .unwrap(),
     );
     for &v in &stream {
         p.offer(&[v]).unwrap();
@@ -156,11 +153,7 @@ fn theorem4_fingerprint_sizing_protects_distinct() {
             delivered.insert(v);
         }
     }
-    assert_eq!(
-        delivered.len(),
-        seen.len(),
-        "a distinct value was fingerprint-collided away"
-    );
+    assert_eq!(delivered.len(), seen.len(), "a distinct value was fingerprint-collided away");
 }
 
 /// §5's space optimization: the Lambert-W (d, w) has a no-worse product
@@ -187,11 +180,8 @@ fn space_optimization_is_locally_optimal() {
 #[test]
 fn monotone_stream_is_worst_case_but_safe() {
     let mut p = StandalonePruner::new(
-        TopNRandPruner::build(
-            TopNRandConfig { rows: 64, cols: 4, seed: 1 },
-            &mut big_ledger(),
-        )
-        .unwrap(),
+        TopNRandPruner::build(TopNRandConfig { rows: 64, cols: 4, seed: 1 }, &mut big_ledger())
+            .unwrap(),
     );
     for v in 0..20_000u64 {
         assert_eq!(p.offer(&[v]).unwrap(), Verdict::Forward, "monotone stream at {v}");

@@ -1,0 +1,190 @@
+//! A minimal, offline stand-in for
+//! [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the API surface the Cheetah benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], and
+//! [`Throughput`] — with a deliberately simple measurement loop: a short
+//! warm-up, then `sample_size` timed samples, reporting the median and
+//! per-element throughput to stdout.
+//!
+//! There is no statistical analysis, outlier rejection, or HTML report;
+//! the point is that `cargo bench` runs the real workloads and prints
+//! comparable numbers, and `cargo bench --no-run` keeps the benches
+//! compiling in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], like real criterion.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility with real criterion's generated main;
+    /// this stand-in takes no CLI configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name}");
+        BenchmarkGroup { name, sample_size: self.sample_size, throughput: None, _c: self }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, None, f);
+        self
+    }
+}
+
+/// How to express per-iteration throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (drop would do; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample: usize,
+}
+
+impl Bencher {
+    /// Time the routine: one warm-up call, then the configured number of
+    /// timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.per_sample {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher { samples: Vec::new(), per_sample: sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{id:<40} median {median:>12?}{rate}");
+}
+
+/// Define a benchmark group function from `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups; ignores harness CLI flags.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g. --bench);
+            // this simple runner has no options and ignores them.
+            let _ = std::env::args();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(2);
+        let mut runs = 0;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + 2 samples.
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Favor ASCII half the time, like real proptest's char strategy
+        // favors simple cases; otherwise any valid scalar value.
+        if rng.next_u64() & 1 == 0 {
+            (rng.below(0x7F) as u8).max(b' ') as char
+        } else {
+            char::from_u32(rng.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only; full bit-pattern floats (NaN/inf) would be
+        // unrepresentative for the numeric properties tested here.
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_finite() {
+            v
+        } else {
+            rng.unit_f64()
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        let v = f32::from_bits(rng.next_u64() as u32);
+        if v.is_finite() {
+            v
+        } else {
+            rng.unit_f64() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_is_deterministic_per_stream() {
+        let mut a = TestRng::for_case("arb", 9);
+        let mut b = TestRng::for_case("arb", 9);
+        for _ in 0..50 {
+            assert_eq!(u64::arbitrary(&mut a), u64::arbitrary(&mut b));
+        }
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut r = TestRng::for_case("bools", 0);
+        let vals: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut r)).collect();
+        assert!(vals.contains(&true) && vals.contains(&false));
+    }
+}

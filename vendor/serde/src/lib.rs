@@ -1,0 +1,26 @@
+//! A minimal, offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The Cheetah workspace derives `Serialize`/`Deserialize` on its public
+//! data types so downstream users can persist them, but nothing in the
+//! workspace serializes at runtime yet and the build environment has no
+//! crates.io access — so this vendored crate provides the two trait names
+//! and no-op derive macros. Swapping in the real `serde` later is a
+//! one-line change in the workspace manifest; no source edits needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type so that generic `T: Serialize`
+/// bounds written against the real crate continue to compile.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
