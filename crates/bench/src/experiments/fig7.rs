@@ -13,7 +13,7 @@
 
 use crate::report::secs;
 use crate::{Report, Scale};
-use cheetah_db::engine::ENTRY_WIRE_BYTES;
+use cheetah_net::ENTRY_WIRE_BYTES;
 use cheetah_switch::DrainModel;
 
 const LINK_GBPS: f64 = 10.0;

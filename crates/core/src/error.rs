@@ -1,0 +1,94 @@
+//! The error type of the pruning layer.
+//!
+//! Two things can go wrong between a query and its pruned execution:
+//!
+//! * the **switch substrate** rejects the program (resource exhaustion at
+//!   build time) or a packet (execution-model violation at packet time) —
+//!   those arrive here as [`SwitchError`]s;
+//! * an **operator** feeding the dataflow misbehaves, e.g. encodes more
+//!   packet value slots than an entry header carries.
+//!
+//! Both are typed: a malformed operator surfaces as an `Err` through
+//! [`crate::Result`], never as a panic inside the engine.
+
+use cheetah_switch::SwitchError;
+use std::fmt;
+
+/// Any error of the pruning layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The switch substrate rejected the program or a packet.
+    Switch(SwitchError),
+    /// An operator encoded more packet value slots than an entry carries.
+    ValueSlotOverflow {
+        /// Slots the operator produced for one row.
+        got: usize,
+        /// Slots an entry header can carry.
+        max: usize,
+    },
+}
+
+impl Error {
+    /// The underlying switch error, if this is one.
+    pub fn as_switch(&self) -> Option<&SwitchError> {
+        match self {
+            Error::Switch(e) => Some(e),
+            Error::ValueSlotOverflow { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Switch(e) => e.fmt(f),
+            Error::ValueSlotOverflow { got, max } => {
+                write!(f, "operator encoded {got} packet value slots but an entry carries {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Switch(e) => Some(e),
+            Error::ValueSlotOverflow { .. } => None,
+        }
+    }
+}
+
+impl From<SwitchError> for Error {
+    fn from(e: SwitchError) -> Self {
+        Error::Switch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_errors_convert_and_display_through() {
+        let e: Error = SwitchError::UnsupportedOp { op: "multiply" }.into();
+        assert!(e.to_string().contains("multiply"));
+        assert!(matches!(e.as_switch(), Some(SwitchError::UnsupportedOp { .. })));
+    }
+
+    #[test]
+    fn slot_overflow_is_informative() {
+        let e = Error::ValueSlotOverflow { got: 9, max: 4 };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4'), "{s}");
+        assert!(e.as_switch().is_none());
+    }
+
+    #[test]
+    fn error_trait_object_with_source() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(Error::Switch(SwitchError::NoProgramForFlow { fid: 3 }));
+        assert!(e.source().is_some());
+        let o: Box<dyn std::error::Error> = Box::new(Error::ValueSlotOverflow { got: 5, max: 4 });
+        assert!(o.source().is_none());
+    }
+}

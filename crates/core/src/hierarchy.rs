@@ -71,7 +71,7 @@ impl MultiSwitch {
         if pipeline.process(0, values)? == Verdict::Prune {
             return Ok(Verdict::Prune);
         }
-        self.root.0.process(0, values)
+        Ok(self.root.0.process(0, values)?)
     }
 
     /// Aggregate statistics of the leaf level.

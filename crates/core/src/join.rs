@@ -162,7 +162,7 @@ impl Filter {
         mask
     }
 
-    fn insert(&mut self, epoch: u64, key: u64) -> crate::Result<()> {
+    fn insert(&mut self, epoch: u64, key: u64) -> cheetah_switch::Result<()> {
         match self {
             Filter::Classic { words, m_bits, hashes } => {
                 for h in hashes.iter() {
@@ -180,7 +180,7 @@ impl Filter {
         }
     }
 
-    fn query(&mut self, epoch: u64, key: u64) -> crate::Result<bool> {
+    fn query(&mut self, epoch: u64, key: u64) -> cheetah_switch::Result<bool> {
         match self {
             Filter::Classic { words, m_bits, hashes } => Ok(hashes.iter().all(|h| {
                 let bit = h.index(key, *m_bits as usize) as u64;
@@ -253,7 +253,7 @@ impl JoinPruner {
         self.phase
     }
 
-    fn side_of(&self, fid: u32) -> crate::Result<JoinSide> {
+    fn side_of(&self, fid: u32) -> cheetah_switch::Result<JoinSide> {
         if fid == self.cfg.fid_a {
             Ok(JoinSide::A)
         } else if fid == self.cfg.fid_b {

@@ -166,7 +166,8 @@ pub fn validate_having_direction(less_than: bool) -> crate::Result<()> {
     if less_than {
         return Err(cheetah_switch::SwitchError::UnsupportedOp {
             op: "HAVING SUM/COUNT < c (future work in the paper)",
-        });
+        }
+        .into());
     }
     Ok(())
 }

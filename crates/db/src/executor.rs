@@ -1,0 +1,407 @@
+//! The generic switch-pruned executor.
+//!
+//! One dataflow serves every query type (the paper's §4–§6 claim, made
+//! structural): **serialize → plan → per-pass switch pruning → master
+//! completion**. The per-query contract is a
+//! [`PruningOperator`] impl (see [`crate::operators`]); everything here is
+//! query-agnostic:
+//!
+//! 1. [`PruningOperator::spec`] is planned onto the switch profile;
+//! 2. each input stream is serialized partition-parallel by worker
+//!    threads calling [`PruningOperator::encode`] — no per-row query
+//!    work, exactly the CWorker of §7.1;
+//! 3. the entries stream through the installed plan via a
+//!    [`StandalonePruner`], pass by pass, following the operator's
+//!    [`PassPlan`] (single pass, JOIN's build-then-prune, HAVING's
+//!    candidate keys);
+//! 4. the master completes the unchanged query on the survivors with
+//!    [`PruningOperator::complete`].
+//!
+//! Worker and master phases are measured on real work; transfer volumes
+//! feed `cheetah-net`'s [`ExecBreakdown`] byte model.
+
+use crate::engine::{CheetahRun, Cluster};
+use crate::query::QueryOutput;
+use crate::table::Table;
+use cheetah_core::{planner, PassPlan, PruningOperator, StandalonePruner};
+use cheetah_net::{Encoded, ExecBreakdown, ENTRY_WIRE_BYTES};
+use cheetah_switch::{ControlMsg, Pipeline, ProgramId, Verdict};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The data a query runs over: one table, or two for JOIN. Stream 0 is
+/// the (left) table; stream 1, when present, the right.
+#[derive(Debug, Clone, Copy)]
+pub struct Tables<'a> {
+    /// The (left) table.
+    pub left: &'a Table,
+    /// The right table of a binary query.
+    pub right: Option<&'a Table>,
+}
+
+impl<'a> Tables<'a> {
+    /// A unary query's source.
+    pub fn unary(left: &'a Table) -> Self {
+        Self { left, right: None }
+    }
+
+    /// A binary (JOIN) query's source.
+    pub fn binary(left: &'a Table, right: &'a Table) -> Self {
+        Self { left, right: Some(right) }
+    }
+
+    /// The table feeding stream `i`.
+    pub fn stream(&self, i: usize) -> &'a Table {
+        match i {
+            0 => self.left,
+            _ => self.right.expect("binary query needs a right table"),
+        }
+    }
+}
+
+impl Cluster {
+    /// Drive any [`PruningOperator`] through the full Cheetah dataflow.
+    ///
+    /// This is the seam that makes the next query type a one-file change:
+    /// implement the operator, call `execute`.
+    pub fn execute<'a, O>(&self, op: &O, tables: &Tables<'a>) -> cheetah_core::Result<CheetahRun>
+    where
+        O: PruningOperator<Tables<'a>, Encoded, Output = QueryOutput>,
+    {
+        // Plan the switch program.
+        let plan = planner::plan(&op.spec()?, self.profile.clone())?;
+        let planner::Plan { pipeline, program, usage, .. } = plan;
+
+        // Workers: serialize the queried columns, partition-parallel.
+        let mut streams: Vec<Vec<Vec<Encoded>>> = Vec::with_capacity(op.streams());
+        let mut worker_seconds = 0.0;
+        for s in 0..op.streams() {
+            let (stream, wt) = serialize(op, tables, s)?;
+            worker_seconds += wt;
+            streams.push(stream);
+        }
+
+        // Switch: drive the operator's pass plan over the entry streams.
+        let mut pruner = StandalonePruner::new(pipeline);
+        let (survivors, extra_worker) = run_passes(op, &streams, &mut pruner, program)?;
+        worker_seconds += extra_worker;
+
+        // Master: complete the unchanged query on the survivors.
+        let t0 = Instant::now();
+        let output = op.complete(tables, &survivors);
+        let master_seconds = t0.elapsed().as_secs_f64();
+
+        let stats = pruner.program().stats(program);
+        let survivor_count: u64 = survivors.iter().map(|s| s.len() as u64).sum();
+        let max_worker_entries =
+            streams.iter().flat_map(|st| st.iter()).map(|s| s.len() as u64).max().unwrap_or(0);
+        let passes = op.pass_plan().wire_passes();
+        Ok(CheetahRun {
+            output,
+            breakdown: ExecBreakdown {
+                worker_seconds,
+                master_seconds,
+                worker_wire_bytes: max_worker_entries * ENTRY_WIRE_BYTES * passes as u64,
+                master_wire_bytes: survivor_count * ENTRY_WIRE_BYTES,
+                entries_to_master: survivor_count,
+                passes,
+            },
+            switch_stats: stats,
+            rules: usage.rules,
+        })
+    }
+}
+
+/// Serialize stream `stream` of the source through the operator's row
+/// encoding, one worker thread per partition; returns the per-partition
+/// entry streams and the slowest worker's duration.
+fn serialize<'a, O>(
+    op: &O,
+    tables: &Tables<'a>,
+    stream: usize,
+) -> cheetah_core::Result<(Vec<Vec<Encoded>>, f64)>
+where
+    O: PruningOperator<Tables<'a>, Encoded, Output = QueryOutput>,
+{
+    let parts = tables.stream(stream).partitions();
+    let results: Vec<cheetah_core::Result<(Vec<Encoded>, f64)>> = std::thread::scope(|sc| {
+        let handles: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| {
+                sc.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut out = Vec::with_capacity(p.rows());
+                    let mut slots = Vec::with_capacity(Encoded::MAX_SLOTS);
+                    for r in 0..p.rows() {
+                        slots.clear();
+                        op.encode(tables, stream, pi, r, &mut slots);
+                        out.push(Encoded::new(pi, r, &slots)?);
+                    }
+                    Ok((out, t0.elapsed().as_secs_f64()))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut stream_out = Vec::with_capacity(results.len());
+    let mut max = 0.0f64;
+    for r in results {
+        let (entries, secs) = r?;
+        max = max.max(secs);
+        stream_out.push(entries);
+    }
+    Ok((stream_out, max))
+}
+
+/// Stream the serialized entries through the installed plan, pass by
+/// pass, per the operator's [`PassPlan`]. Returns the per-stream
+/// survivors plus any worker-side time the plan itself cost (HAVING's
+/// candidate re-stream).
+fn run_passes<'a, O>(
+    op: &O,
+    streams: &[Vec<Vec<Encoded>>],
+    pruner: &mut StandalonePruner<Pipeline>,
+    program: ProgramId,
+) -> cheetah_core::Result<(Vec<Vec<Encoded>>, f64)>
+where
+    O: PruningOperator<Tables<'a>, Encoded, Output = QueryOutput>,
+{
+    let mut survivors: Vec<Vec<Encoded>> = vec![Vec::new(); op.streams()];
+    let mut extra_worker = 0.0;
+
+    // Offer every entry of stream `s`, collecting forwarded entries.
+    let collect = |pruner: &mut StandalonePruner<Pipeline>,
+                   s: usize,
+                   out: &mut Vec<Encoded>|
+     -> cheetah_core::Result<()> {
+        let fid = op.flow_id(s);
+        for e in streams[s].iter().flatten() {
+            if pruner.offer_for_fid(fid, e.values())? == Verdict::Forward {
+                out.push(*e);
+            }
+        }
+        Ok(())
+    };
+
+    match op.pass_plan() {
+        PassPlan::Single => {
+            for (s, out) in survivors.iter_mut().enumerate() {
+                collect(pruner, s, out)?;
+            }
+        }
+        PassPlan::BuildThenPrune => {
+            // Pass 1: build filters (stream consumed at the switch).
+            for (s, stream) in streams.iter().enumerate() {
+                let fid = op.flow_id(s);
+                for e in stream.iter().flatten() {
+                    pruner.offer_for_fid(fid, e.values())?;
+                }
+            }
+            pruner.program_mut().control(program, &ControlMsg::SetPhase(2))?;
+            // Pass 2: prune every stream.
+            for (s, out) in survivors.iter_mut().enumerate() {
+                collect(pruner, s, out)?;
+            }
+        }
+        PassPlan::FirstBuildsThenPruneSecond => {
+            // Stream 0 streams once: unpruned, building its filter on the
+            // way through.
+            collect(pruner, 0, &mut survivors[0])?;
+            pruner.program_mut().control(program, &ControlMsg::SetPhase(2))?;
+            // Stream 1 is pruned against the filter.
+            collect(pruner, 1, &mut survivors[1])?;
+        }
+        PassPlan::CandidateKeys { key_slot } => {
+            // A malformed operator that encodes fewer slots than its own
+            // plan's key slot must surface as a typed error, not a panic.
+            let key_of = |e: &Encoded| -> cheetah_core::Result<u64> {
+                e.values().get(key_slot).copied().ok_or_else(|| {
+                    cheetah_switch::SwitchError::BadPacketShape {
+                        expected: key_slot + 1,
+                        got: e.values().len(),
+                    }
+                    .into()
+                })
+            };
+            // Pass 1: sketch + candidate announcements.
+            let fid = op.flow_id(0);
+            let mut candidates: HashSet<u64> = HashSet::new();
+            for e in streams[0].iter().flatten() {
+                if pruner.offer_for_fid(fid, e.values())? == Verdict::Forward {
+                    candidates.insert(key_of(e)?);
+                }
+            }
+            // Pass 2 (partial): workers re-stream only the announced keys;
+            // this is worker-side selection time, not switch time.
+            let t1 = Instant::now();
+            let mut kept = Vec::new();
+            for e in streams[0].iter().flatten() {
+                if candidates.contains(&key_of(e)?) {
+                    kept.push(*e);
+                }
+            }
+            survivors[0] = kept;
+            extra_worker = t1.elapsed().as_secs_f64();
+        }
+    }
+    Ok((survivors, extra_worker))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::DbQuery;
+    use crate::testutil::{all_queries, test_table};
+    use cheetah_core::{Error, QuerySpec};
+
+    #[test]
+    fn cheetah_output_equals_baseline_for_every_query() {
+        // THE correctness contract: Q(A_Q(D)) = Q(D).
+        let cluster = Cluster::default();
+        let t = test_table(5_000, 4);
+        for q in all_queries() {
+            let base = cluster.run_baseline(&q, &t, None);
+            let chee = cluster.run_cheetah(&q, &t, None).unwrap();
+            assert_eq!(base.output, chee.output, "mismatch for {}", q.kind());
+        }
+    }
+
+    #[test]
+    fn switch_prunes_a_meaningful_fraction() {
+        let cluster = Cluster::default();
+        let t = test_table(20_000, 4);
+        let chee = cluster.run_cheetah(&DbQuery::Distinct { col: 0 }, &t, None).unwrap();
+        // 50 distinct agents over 20k rows: pruning should be massive.
+        assert!(
+            chee.switch_stats.pruned_fraction() > 0.95,
+            "pruned only {}",
+            chee.switch_stats.pruned_fraction()
+        );
+        assert!(chee.breakdown.entries_to_master < 1_000);
+    }
+
+    #[test]
+    fn cheetah_sends_more_wire_bytes_but_fewer_survive() {
+        let cluster = Cluster::default();
+        let t = test_table(20_000, 4);
+        let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+        let base = cluster.run_baseline(&q, &t, None);
+        let chee = cluster.run_cheetah(&q, &t, None).unwrap();
+        // Cheetah streams everything uncompressed through the switch…
+        assert!(chee.breakdown.worker_wire_bytes > base.breakdown.worker_wire_bytes);
+        // …but the master sees a pruned stream.
+        assert!(chee.switch_stats.pruned > 0);
+    }
+
+    #[test]
+    fn rules_stay_in_paper_range() {
+        let cluster = Cluster::default();
+        let t = test_table(1_000, 2);
+        for q in all_queries() {
+            let chee = cluster.run_cheetah(&q, &t, None).unwrap();
+            assert!(chee.rules <= 30, "{}: {} rules", q.kind(), chee.rules);
+        }
+    }
+
+    #[test]
+    fn repartitioned_tables_give_same_cheetah_output() {
+        // Figure 6 varies the worker count; output must be invariant.
+        let cluster = Cluster::default();
+        let t = test_table(4_000, 4);
+        let q = DbQuery::Distinct { col: 0 };
+        let out4 = cluster.run_cheetah(&q, &t, None).unwrap().output;
+        let out1 = cluster.run_cheetah(&q, &t.repartition(1), None).unwrap().output;
+        let out8 = cluster.run_cheetah(&q, &t.repartition(8), None).unwrap().output;
+        assert_eq!(out4, out1);
+        assert_eq!(out4, out8);
+    }
+
+    /// A deliberately malformed operator: encodes more value slots than an
+    /// entry carries. The executor must surface a typed error, not panic.
+    struct OverflowOp;
+
+    impl<'a> PruningOperator<Tables<'a>, Encoded> for OverflowOp {
+        type Output = QueryOutput;
+        fn kind(&self) -> &'static str {
+            "overflow"
+        }
+        fn spec(&self) -> cheetah_core::Result<QuerySpec> {
+            Ok(QuerySpec::Distinct(cheetah_core::DistinctConfig {
+                rows: 64,
+                cols: 2,
+                policy: cheetah_core::EvictionPolicy::Lru,
+                fingerprint: None,
+                seed: 1,
+            }))
+        }
+        fn encode(
+            &self,
+            _src: &Tables<'a>,
+            _stream: usize,
+            _part: usize,
+            _row: usize,
+            out: &mut Vec<u64>,
+        ) {
+            out.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+        }
+        fn complete(&self, _src: &Tables<'a>, _survivors: &[Vec<Encoded>]) -> QueryOutput {
+            QueryOutput::Count(0)
+        }
+    }
+
+    #[test]
+    fn malformed_operator_yields_typed_error_not_panic() {
+        let cluster = Cluster::default();
+        let t = test_table(10, 1);
+        let err = cluster.execute(&OverflowOp, &Tables::unary(&t)).unwrap_err();
+        assert_eq!(err, Error::ValueSlotOverflow { got: 6, max: Encoded::MAX_SLOTS });
+    }
+
+    /// Malformed in the other direction: the operator's own pass plan
+    /// names a key slot its `encode` never fills.
+    struct ShortKeyOp;
+
+    impl<'a> PruningOperator<Tables<'a>, Encoded> for ShortKeyOp {
+        type Output = QueryOutput;
+        fn kind(&self) -> &'static str {
+            "short-key"
+        }
+        fn spec(&self) -> cheetah_core::Result<QuerySpec> {
+            Ok(QuerySpec::Distinct(cheetah_core::DistinctConfig {
+                rows: 64,
+                cols: 2,
+                policy: cheetah_core::EvictionPolicy::Lru,
+                fingerprint: None,
+                seed: 1,
+            }))
+        }
+        fn pass_plan(&self) -> cheetah_core::PassPlan {
+            cheetah_core::PassPlan::CandidateKeys { key_slot: 3 }
+        }
+        fn encode(
+            &self,
+            _src: &Tables<'a>,
+            _stream: usize,
+            _part: usize,
+            _row: usize,
+            out: &mut Vec<u64>,
+        ) {
+            out.push(7);
+        }
+        fn complete(&self, _src: &Tables<'a>, _survivors: &[Vec<Encoded>]) -> QueryOutput {
+            QueryOutput::Count(0)
+        }
+    }
+
+    #[test]
+    fn candidate_key_slot_out_of_range_is_a_typed_error() {
+        let cluster = Cluster::default();
+        let t = test_table(10, 1);
+        let err = cluster.execute(&ShortKeyOp, &Tables::unary(&t)).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Switch(cheetah_switch::SwitchError::BadPacketShape { expected: 4, got: 1 })
+        );
+    }
+}

@@ -29,15 +29,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod engine;
+pub mod executor;
 pub mod expr;
 pub mod master;
+pub mod operators;
 pub mod ops;
 pub mod query;
 pub mod table;
 pub mod value;
 
-pub use engine::{CheetahRun, Cluster, ExecBreakdown, SparkRun};
+#[cfg(test)]
+mod testutil;
+
+pub use engine::{CheetahRun, CheetahTuning, Cluster, ExecBreakdown, SparkRun};
+pub use executor::Tables;
 pub use expr::{DbPredicate, IntCmp, LikePattern};
 pub use master::MasterIngestModel;
 pub use query::{DbQuery, QueryOutput};

@@ -1,0 +1,73 @@
+//! `SELECT <key>, MAX(<val>) … GROUP BY` — §8 / Figure 10d.
+//!
+//! The switch's per-key running-max matrix forwards entries that improve
+//! their group's maximum; the master re-aggregates the survivors exactly
+//! by true key value (fingerprint collisions only reduce pruning).
+
+use super::{encode_i64_32, encode_key};
+use crate::engine::CheetahTuning;
+use crate::executor::Tables;
+use crate::query::QueryOutput;
+use crate::value::Value;
+use cheetah_core::{AggKind, GroupByConfig, PruningOperator, QuerySpec};
+use cheetah_net::Encoded;
+use std::collections::HashMap;
+
+/// The GROUP BY (MAX) operator.
+pub struct GroupByMaxOp {
+    key_col: usize,
+    val_col: usize,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+}
+
+impl GroupByMaxOp {
+    /// MAX of `val_col` grouped by `key_col` with the cluster's matrix
+    /// tuning.
+    pub fn new(key_col: usize, val_col: usize, tuning: &CheetahTuning) -> Self {
+        Self {
+            key_col,
+            val_col,
+            rows: tuning.groupby_rows,
+            cols: tuning.groupby_cols,
+            seed: tuning.seed,
+        }
+    }
+}
+
+impl<'a> PruningOperator<Tables<'a>, Encoded> for GroupByMaxOp {
+    type Output = QueryOutput;
+
+    fn kind(&self) -> &'static str {
+        "groupby-max"
+    }
+
+    fn spec(&self) -> cheetah_core::Result<QuerySpec> {
+        Ok(QuerySpec::GroupBy(GroupByConfig {
+            rows: self.rows,
+            cols: self.cols,
+            agg: AggKind::Max,
+            key_bits: 31,
+            seed: self.seed,
+        }))
+    }
+
+    fn encode(&self, src: &Tables<'a>, stream: usize, part: usize, row: usize, out: &mut Vec<u64>) {
+        let p = &src.stream(stream).partitions()[part];
+        out.push(encode_key(self.seed, &p.column(self.key_col).get(row)));
+        out.push(encode_i64_32(p.column(self.val_col).as_int().expect("int agg col")[row]));
+    }
+
+    fn complete(&self, src: &Tables<'a>, survivors: &[Vec<Encoded>]) -> QueryOutput {
+        let mut best: HashMap<Value, i64> = HashMap::new();
+        for e in &survivors[0] {
+            let (pi, r) = e.id();
+            let p = &src.left.partitions()[pi];
+            let k = p.column(self.key_col).get(r);
+            let v = p.column(self.val_col).as_int().expect("int agg col")[r];
+            best.entry(k).and_modify(|m| *m = (*m).max(v)).or_insert(v);
+        }
+        QueryOutput::KeyedInts(best.into_iter().collect())
+    }
+}

@@ -1,0 +1,78 @@
+//! `SELECT <key> … GROUP BY <key> HAVING SUM(<val>) > c` — Count-Min
+//! candidates, §4.3 Example #5.
+//!
+//! Pass 1 streams every entry through the Count-Min sketch; an entry whose
+//! key's estimated sum crosses the threshold is forwarded once as a
+//! *candidate announcement*. Pass 2 re-streams only the entries of
+//! announced keys ([`PassPlan::CandidateKeys`]); the master aggregates
+//! them exactly by true key value and applies the threshold — sketch
+//! overestimates only add candidates, never wrong sums.
+
+use super::encode_key;
+use crate::engine::CheetahTuning;
+use crate::executor::Tables;
+use crate::query::QueryOutput;
+use crate::value::Value;
+use cheetah_core::{planner, HavingAgg, HavingConfig, PassPlan, PruningOperator, QuerySpec};
+use cheetah_net::Encoded;
+use std::collections::HashMap;
+
+/// The HAVING-SUM operator.
+pub struct HavingSumOp {
+    key_col: usize,
+    val_col: usize,
+    threshold: i64,
+    counters: usize,
+    seed: u64,
+}
+
+impl HavingSumOp {
+    /// Keys whose `SUM(val_col)` exceeds `threshold`, with the cluster's
+    /// sketch tuning.
+    pub fn new(key_col: usize, val_col: usize, threshold: i64, tuning: &CheetahTuning) -> Self {
+        Self { key_col, val_col, threshold, counters: tuning.having_counters, seed: tuning.seed }
+    }
+}
+
+impl<'a> PruningOperator<Tables<'a>, Encoded> for HavingSumOp {
+    type Output = QueryOutput;
+
+    fn kind(&self) -> &'static str {
+        "having-sum"
+    }
+
+    fn spec(&self) -> cheetah_core::Result<QuerySpec> {
+        // `SUM < c` is future work in the paper; the planner rejects it.
+        planner::validate_having_direction(false)?;
+        Ok(QuerySpec::Having(HavingConfig {
+            cm_rows: 3,
+            cm_counters: self.counters,
+            threshold: self.threshold.max(0) as u64,
+            agg: HavingAgg::Sum,
+            dedup_rows: 1024,
+            dedup_cols: 2,
+            seed: self.seed,
+        }))
+    }
+
+    fn pass_plan(&self) -> PassPlan {
+        PassPlan::CandidateKeys { key_slot: 0 }
+    }
+
+    fn encode(&self, src: &Tables<'a>, stream: usize, part: usize, row: usize, out: &mut Vec<u64>) {
+        let p = &src.stream(stream).partitions()[part];
+        out.push(encode_key(self.seed, &p.column(self.key_col).get(row)));
+        out.push(p.column(self.val_col).as_int().expect("int sum col")[row].max(0) as u64);
+    }
+
+    fn complete(&self, src: &Tables<'a>, survivors: &[Vec<Encoded>]) -> QueryOutput {
+        let mut sums: HashMap<Value, i64> = HashMap::new();
+        for e in &survivors[0] {
+            let (pi, r) = e.id();
+            let p = &src.left.partitions()[pi];
+            let k = p.column(self.key_col).get(r);
+            *sums.entry(k).or_insert(0) += p.column(self.val_col).as_int().expect("int sum col")[r];
+        }
+        QueryOutput::KeyedInts(sums.into_iter().filter(|(_, s)| *s > self.threshold).collect())
+    }
+}

@@ -1,0 +1,42 @@
+//! Shared fixtures for the engine/executor/operator test modules.
+
+use crate::expr::{DbPredicate, IntCmp};
+use crate::query::DbQuery;
+use crate::table::{Table, TableBuilder};
+use crate::value::{DataType, Value};
+
+/// A small deterministic table: key strings, two int columns.
+pub(crate) fn test_table(rows: usize, partitions: usize) -> Table {
+    let mut b = TableBuilder::new(
+        "t",
+        vec![
+            ("agent".into(), DataType::Str),
+            ("revenue".into(), DataType::Int),
+            ("duration".into(), DataType::Int),
+        ],
+        rows.div_ceil(partitions),
+    );
+    let mut x: u64 = 42;
+    for _ in 0..rows {
+        x = cheetah_switch::hash::mix64(x);
+        let agent = format!("agent-{}", x % 50);
+        x = cheetah_switch::hash::mix64(x);
+        let revenue = (x % 10_000) as i64;
+        x = cheetah_switch::hash::mix64(x);
+        let duration = (x % 100) as i64;
+        b.push_row(vec![Value::Str(agent), Value::Int(revenue), Value::Int(duration)]);
+    }
+    b.build()
+}
+
+/// Every unary query shape over [`test_table`]'s schema.
+pub(crate) fn all_queries() -> Vec<DbQuery> {
+    vec![
+        DbQuery::FilterCount { pred: DbPredicate::CmpInt { col: 2, op: IntCmp::Lt, lit: 10 } },
+        DbQuery::Distinct { col: 0 },
+        DbQuery::TopN { order_col: 1, n: 25 },
+        DbQuery::GroupByMax { key_col: 0, val_col: 1 },
+        DbQuery::Skyline { cols: vec![1, 2] },
+        DbQuery::HavingSum { key_col: 0, val_col: 1, threshold: 50_000 },
+    ]
+}

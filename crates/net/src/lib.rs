@@ -13,7 +13,10 @@
 //!   `Y = X+1 / Y ≤ X / Y > X+1` sequencing rules, the workers'
 //!   go-back-N window, the master's dedup;
 //! * [`transfer`] — a deterministic discrete-event simulation of the full
-//!   rack (`W` workers → switch → master) running any pruning function.
+//!   rack (`W` workers → switch → master) running any pruning function;
+//! * [`model`] — byte-level transfer accounting for the query engine: the
+//!   serialized entry ([`Encoded`]), its modelled wire size, and the
+//!   phase/transfer breakdown with the Figure 8 completion model.
 //!
 //! Not modelled: real sockets/DPDK (everything is simulated time), IP
 //! fragmentation, and congestion control (the paper's channel is a
@@ -23,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod model;
 pub mod reliability;
 pub mod transfer;
 pub mod wire;
 
 pub use channel::{FaultProfile, Link, LinkOutcome, SimRng, SimTime};
+pub use model::{Encoded, ExecBreakdown, ENTRY_WIRE_BYTES};
 pub use reliability::{MasterFlow, SwitchAction, SwitchFlow, WorkerFlow};
 pub use transfer::{TransferConfig, TransferReport, TransferSim};
 pub use wire::{AckPacket, AckSource, DataPacket, Packet, WireError, MAX_VALUES};

@@ -199,6 +199,36 @@ impl Pipeline {
     }
 }
 
+/// A whole pipeline can itself be driven as one [`SwitchProgram`]: the
+/// packet's `fid` selects the bound program, exactly like
+/// [`Pipeline::process`]. This lets pass-structured drivers (e.g.
+/// `cheetah_core::StandalonePruner`) stream entries through an installed
+/// plan without re-implementing flow dispatch.
+///
+/// The internal counter always advances by at least one per packet and
+/// never falls below the caller's epoch, so the register-access discipline
+/// (strictly increasing epochs, one per packet) holds even if `process`
+/// and `on_packet` calls are interleaved or the caller's counter restarted.
+impl SwitchProgram for Pipeline {
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn on_packet(&mut self, pkt: PacketRef<'_>) -> Result<Verdict> {
+        let idx =
+            *self.by_fid.get(&pkt.fid).ok_or(SwitchError::NoProgramForFlow { fid: pkt.fid })?;
+        self.epoch = (self.epoch + 1).max(pkt.epoch);
+        let slot = &mut self.slots[idx];
+        let verdict = slot.program.on_packet(PacketRef {
+            epoch: self.epoch,
+            fid: pkt.fid,
+            values: pkt.values,
+        })?;
+        slot.stats.record(verdict);
+        Ok(verdict)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +307,36 @@ mod tests {
         // Stats are only charged to the selected program.
         assert_eq!(p.stats(lo).seen, 1);
         assert_eq!(p.stats(hi).seen, 1);
+    }
+
+    #[test]
+    fn pipeline_drives_as_a_switch_program() {
+        // The trait path must match `process` verdicts and stats exactly.
+        let mut p = Pipeline::new();
+        let id = p.install(Box::new(Threshold { cut: 10, cleared: false }));
+        p.bind_flow(3, id);
+        let v1 = p.on_packet(PacketRef { epoch: 1, fid: 3, values: &[11] }).unwrap();
+        let v2 = p.on_packet(PacketRef { epoch: 2, fid: 3, values: &[9] }).unwrap();
+        assert_eq!((v1, v2), (Verdict::Forward, Verdict::Prune));
+        let s = p.stats(id);
+        assert_eq!((s.seen, s.pruned, s.forwarded), (2, 1, 1));
+        assert_eq!(
+            p.on_packet(PacketRef { epoch: 3, fid: 9, values: &[0] }).unwrap_err(),
+            SwitchError::NoProgramForFlow { fid: 9 }
+        );
+    }
+
+    #[test]
+    fn on_packet_advances_epochs_even_when_the_callers_counter_lags() {
+        // A driver whose epoch counter restarted (e.g. a fresh
+        // StandalonePruner around an already-used pipeline) must not make
+        // two packets share an epoch.
+        let mut p = Pipeline::new();
+        let id = p.install(Box::new(Threshold { cut: 10, cleared: false }));
+        p.bind_flow(1, id);
+        p.process(1, &[11]).unwrap(); // internal epoch -> 1
+        p.on_packet(PacketRef { epoch: 1, fid: 1, values: &[11] }).unwrap(); // must advance to 2
+        assert_eq!(p.next_epoch(), 3, "lagging caller epoch still advanced the counter");
     }
 
     #[test]

@@ -84,6 +84,43 @@ proptest! {
     }
 
     #[test]
+    fn all_seven_variants_through_the_generic_executor(
+        seed in any::<u64>(),
+        rows in 150usize..1_000,
+        keys in 1u64..150,
+        partitions in 1usize..5,
+    ) {
+        // Every DbQuery variant rides the same generic executor now; this
+        // sweeps all seven (the six unary shapes plus JOIN on its
+        // two-pass path) on one randomized table pair.
+        let cluster = Cluster::default();
+        let table = gen_table(rows, keys, partitions, seed);
+        let right = gen_table(rows / 2 + 1, keys, 2, seed ^ 0xA5A5);
+        let threshold = (rows as i64) * 20;
+        let mut all = queries(threshold);
+        all.push(DbQuery::Join { left_key: 0, right_key: 0 });
+        prop_assert_eq!(all.len(), 7, "one query per DbQuery variant");
+        for q in all {
+            let right_of = q.is_binary().then_some(&right);
+            let base = cluster.run_baseline(&q, &table, right_of);
+            let chee = cluster.run_cheetah(&q, &table, right_of).expect("plan fits");
+            if q.is_binary() {
+                // The default tuning takes JOIN's two-pass path.
+                prop_assert_eq!(chee.breakdown.passes, 2, "two-pass join path");
+            }
+            prop_assert_eq!(
+                base.output,
+                chee.output,
+                "query {} diverged (seed {}, rows {}, keys {})",
+                q.kind(),
+                seed,
+                rows,
+                keys
+            );
+        }
+    }
+
+    #[test]
     fn join_pruning_contract(
         seed in any::<u64>(),
         rows_l in 100usize..800,

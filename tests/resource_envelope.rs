@@ -5,9 +5,9 @@
 //! fitting.
 
 use cheetah::algorithms::{
-    planner, AtomSpec, BoolExpr, CmpOp, DistinctConfig, EvictionPolicy, ExternalMode, FilterConfig,
-    GroupByConfig, HavingConfig, JoinConfig, PackedQueries, Predicate, QuerySpec, SkylineConfig,
-    SkylinePolicy, TopNDetConfig, TopNRandConfig,
+    planner, AtomSpec, BoolExpr, CmpOp, DistinctConfig, Error, EvictionPolicy, ExternalMode,
+    FilterConfig, GroupByConfig, HavingConfig, JoinConfig, PackedQueries, Predicate, QuerySpec,
+    SkylineConfig, SkylinePolicy, TopNDetConfig, TopNRandConfig,
 };
 use cheetah::switch::{SwitchError, SwitchProfile};
 use std::time::Duration;
@@ -108,7 +108,9 @@ fn oversized_configurations_fail_with_precise_errors() {
         seed: 1,
     });
     match planner::plan(&huge, SwitchProfile::tofino1()) {
-        Err(SwitchError::SramExhausted { .. }) | Err(SwitchError::NoContiguousStages { .. }) => {}
+        Err(Error::Switch(
+            SwitchError::SramExhausted { .. } | SwitchError::NoContiguousStages { .. },
+        )) => {}
         other => panic!("expected a resource error, got {:?}", other.err()),
     }
     // Stage exhaustion: a 40-point skyline cannot fit 12 stages.
@@ -119,7 +121,7 @@ fn oversized_configurations_fail_with_precise_errors() {
         packed: true,
     });
     match planner::plan(&tall, SwitchProfile::tofino1()) {
-        Err(SwitchError::NoContiguousStages { .. }) => {}
+        Err(Error::Switch(SwitchError::NoContiguousStages { .. })) => {}
         other => panic!("expected stage exhaustion, got {:?}", other.err()),
     }
 }
