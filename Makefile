@@ -1,0 +1,38 @@
+# Convenience aliases mirroring the CI jobs, so "it failed in CI" is
+# always reproducible with one local command.
+
+SMOKE_OUT ?= BENCH_smoke.json
+SMOKE_BASELINE ?= ci/bench_baseline.json
+SMOKE_TOLERANCE ?= 0.2
+
+.PHONY: build test lint docs bench-compile bench-smoke shard-gate
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q --workspace
+
+lint:
+	cargo fmt --all --check
+	cargo clippy --workspace --all-targets -- -D warnings
+
+docs:
+	RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# All criterion benches (incl. the sharding bench) must keep compiling.
+bench-compile:
+	cargo bench --no-run
+
+# The named CI gate: shard equivalence across all seven query variants.
+shard-gate:
+	cargo test -q -p cheetah-db --test shard_contract
+
+# The CI perf-smoke invocation, byte for byte: runs the fixed-seed smoke
+# pass, writes $(SMOKE_OUT), and fails on >$(SMOKE_TOLERANCE) regression
+# vs the checked-in baseline.
+bench-smoke:
+	cargo run --release -q -p cheetah-bench --bin cheetah-experiments -- \
+		--smoke-json $(SMOKE_OUT) \
+		--smoke-baseline $(SMOKE_BASELINE) \
+		--smoke-tolerance $(SMOKE_TOLERANCE)

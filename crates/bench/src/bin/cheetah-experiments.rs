@@ -1,36 +1,105 @@
-//! CLI driver regenerating every table and figure of the paper.
+//! CLI driver regenerating every table and figure of the paper, plus the
+//! CI perf-smoke pass.
 //!
 //! ```text
 //! cheetah-experiments [EXPERIMENT ...] [--full] [--csv DIR]
+//!                     [--shards LIST]
+//!                     [--smoke-json PATH [--smoke-baseline PATH]
+//!                      [--smoke-tolerance FRAC] [--smoke-seed N]]
 //!
-//!   EXPERIMENT  one of: table2 table3 fig5 fig6 fig7 fig8 fig9 fig10
-//!               fig11 fig12_13 (default: all)
-//!   --full      paper-scale streams (minutes) instead of quick (seconds)
-//!   --csv DIR   additionally write one CSV per report into DIR
+//!   EXPERIMENT        one of: table2 table3 fig5 fig6 fig7 fig8 fig9
+//!                     fig10 fig11 fig12_13 ablations shards
+//!                     (default: all)
+//!   --full            paper-scale streams (minutes) instead of quick
+//!   --csv DIR         additionally write one CSV per report into DIR
+//!   --shards LIST     comma-separated worker-shard axis for the sharded
+//!                     sweeps, e.g. 1,2,4,8,16 (the default)
+//!   --smoke-json PATH run the perf-smoke pass instead of experiments and
+//!                     write the machine-readable report to PATH
+//!   --smoke-baseline  compare the smoke report against this baseline
+//!                     JSON and exit 1 on regression
+//!   --smoke-tolerance allowed fractional regression (default 0.2)
+//!   --smoke-seed      workload seed of the smoke pass (default 42)
 //! ```
 
 use cheetah_bench::experiments;
-use cheetah_bench::Scale;
+use cheetah_bench::smoke::{run_smoke, SmokeReport};
+use cheetah_bench::{RunCtx, Scale};
 use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut csv_dir: Option<String> = None;
+    let mut shards: Option<Vec<usize>> = None;
+    let mut smoke_json: Option<String> = None;
+    let mut smoke_baseline: Option<String> = None;
+    let mut smoke_tolerance = 0.2f64;
+    let mut smoke_seed = 42u64;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
+    let value_of = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--full" => scale = Scale::Full,
             "--csv" => {
                 i += 1;
-                csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
-                    eprintln!("--csv needs a directory");
+                csv_dir = Some(value_of(&args, i, "--csv"));
+            }
+            "--shards" => {
+                i += 1;
+                let list = value_of(&args, i, "--shards");
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() && v.iter().all(|&n| n > 0) => shards = Some(v),
+                    _ => {
+                        eprintln!("--shards needs a comma-separated list of positive ints");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--smoke-json" => {
+                i += 1;
+                smoke_json = Some(value_of(&args, i, "--smoke-json"));
+            }
+            "--smoke-baseline" => {
+                i += 1;
+                smoke_baseline = Some(value_of(&args, i, "--smoke-baseline"));
+            }
+            "--smoke-tolerance" => {
+                i += 1;
+                let parsed: f64 =
+                    value_of(&args, i, "--smoke-tolerance").parse().unwrap_or(f64::NAN);
+                // NaN would make every floor comparison false and silently
+                // disable the gate; reject anything outside [0, 1).
+                if !parsed.is_finite() || !(0.0..1.0).contains(&parsed) {
+                    eprintln!("--smoke-tolerance needs a fraction in [0, 1), e.g. 0.2");
                     std::process::exit(2);
-                }));
+                }
+                smoke_tolerance = parsed;
+            }
+            "--smoke-seed" => {
+                i += 1;
+                smoke_seed = value_of(&args, i, "--smoke-seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--smoke-seed needs an integer");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
-                println!("usage: cheetah-experiments [EXPERIMENT ...] [--full] [--csv DIR]");
+                println!(
+                    "usage: cheetah-experiments [EXPERIMENT ...] [--full] [--csv DIR] \
+                     [--shards LIST]"
+                );
+                println!(
+                    "       cheetah-experiments --smoke-json PATH [--smoke-baseline PATH] \
+                     [--smoke-tolerance FRAC] [--smoke-seed N]"
+                );
                 println!("experiments:");
                 for (id, _) in experiments::all() {
                     println!("  {id}");
@@ -40,6 +109,16 @@ fn main() {
             other => wanted.push(other.to_string()),
         }
         i += 1;
+    }
+
+    if let Some(path) = smoke_json {
+        run_smoke_mode(&path, smoke_baseline.as_deref(), smoke_tolerance, smoke_seed);
+        return;
+    }
+
+    let mut ctx = RunCtx::new(scale);
+    if let Some(s) = shards {
+        ctx.shards = s;
     }
     let registry = experiments::all();
     let selected: Vec<_> = if wanted.is_empty() {
@@ -58,9 +137,9 @@ fn main() {
         std::fs::create_dir_all(dir).expect("create csv dir");
     }
     for (id, runner) in selected {
-        eprintln!("running {id} ({scale:?})...");
+        eprintln!("running {id} ({:?})...", ctx.scale);
         let t0 = std::time::Instant::now();
-        let reports = runner(scale);
+        let reports = runner(&ctx);
         for report in &reports {
             println!("{}", report.render());
             if let Some(dir) = &csv_dir {
@@ -71,5 +150,44 @@ fn main() {
             }
         }
         eprintln!("{id} done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+}
+
+/// The CI perf-smoke path: measure, write JSON, optionally gate against a
+/// baseline. Exit code 1 = regression, 2 = usage/IO error.
+fn run_smoke_mode(out_path: &str, baseline_path: Option<&str>, tolerance: f64, seed: u64) {
+    eprintln!("running perf smoke (seed {seed})...");
+    let report = run_smoke(seed, 6_000, 3);
+    let json = report.to_json();
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    let baseline_text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = SmokeReport::parse_json(&baseline_text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let violations = report.regressions_against(&baseline, tolerance);
+    if violations.is_empty() {
+        eprintln!(
+            "perf smoke OK: {} families within {:.0}% of {baseline_path}",
+            report.families.len(),
+            tolerance * 100.0
+        );
+    } else {
+        eprintln!("perf smoke FAILED vs {baseline_path}:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
     }
 }

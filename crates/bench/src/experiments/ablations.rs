@@ -13,7 +13,7 @@
 //!    count at fixed per-device resources.
 
 use crate::report::frac;
-use crate::{Report, Scale};
+use crate::{Report, RunCtx, Scale};
 use cheetah_core::batch::{effective_entry_rate, BatchedDistinct, BatchedDistinctConfig};
 use cheetah_core::hierarchy::MultiSwitch;
 use cheetah_core::{
@@ -163,7 +163,8 @@ pub fn hierarchy(scale: Scale) -> Report {
 }
 
 /// All four ablations.
-pub fn run(scale: Scale) -> Vec<Report> {
+pub fn run(ctx: &RunCtx) -> Vec<Report> {
+    let scale = ctx.scale;
     vec![eviction_policy(scale), projection(scale), batching(scale), hierarchy(scale)]
 }
 

@@ -6,7 +6,7 @@
 //! bound on any switch algorithm's pruning.
 
 use crate::report::frac;
-use crate::{Report, Scale};
+use crate::{Report, RunCtx, Scale};
 use cheetah_core::pruner::OptPruner;
 use cheetah_core::{
     distinct::DistinctOpt, groupby::GroupByOpt, having::HavingOpt, join::JoinOpt,
@@ -320,7 +320,8 @@ pub fn panel_f(scale: Scale) -> Report {
 }
 
 /// All six panels.
-pub fn run(scale: Scale) -> Vec<Report> {
+pub fn run(ctx: &RunCtx) -> Vec<Report> {
+    let scale = ctx.scale;
     vec![
         panel_a(scale),
         panel_b(scale),

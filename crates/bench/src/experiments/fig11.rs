@@ -5,7 +5,7 @@
 //! HAVING degrade (filters fill up, more keys cross the threshold).
 
 use crate::report::frac;
-use crate::{Report, Scale};
+use crate::{Report, RunCtx, Scale};
 use cheetah_core::{
     AggKind, BloomKind, DistinctConfig, DistinctPruner, EvictionPolicy, GroupByConfig,
     GroupByPruner, HavingAgg, HavingConfig, HavingPruner, JoinConfig, JoinMode, JoinPruner,
@@ -257,7 +257,8 @@ pub fn panel_f(scale: Scale) -> Report {
 }
 
 /// All six panels.
-pub fn run(scale: Scale) -> Vec<Report> {
+pub fn run(ctx: &RunCtx) -> Vec<Report> {
+    let scale = ctx.scale;
     vec![
         panel_a(scale),
         panel_b(scale),

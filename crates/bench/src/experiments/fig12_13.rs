@@ -11,7 +11,7 @@
 //! (slowdown + channel transfer) to the measured baseline.
 
 use crate::report::secs;
-use crate::{Report, Scale};
+use crate::{Report, RunCtx, Scale};
 use cheetah_db::ops;
 use cheetah_db::table::{Column, Partition};
 use cheetah_switch::hash::mix64;
@@ -58,7 +58,8 @@ fn one_figure(id: &'static str, title: &str, scale: Scale, op: impl Fn(&Partitio
 }
 
 /// Build both figures.
-pub fn run(scale: Scale) -> Vec<Report> {
+pub fn run(ctx: &RunCtx) -> Vec<Report> {
+    let scale = ctx.scale;
     vec![
         one_figure("fig12", "Group-By processing: server vs switch CPU", scale, |p| {
             std::hint::black_box(ops::partial_groupby_max(0, 1, p));
@@ -75,7 +76,7 @@ mod tests {
 
     #[test]
     fn switch_cpu_is_always_slower() {
-        for r in run(Scale::Quick) {
+        for r in run(&RunCtx::quick()) {
             for row in &r.rows {
                 let slowdown: f64 = row[3].strip_suffix('x').unwrap().parse().expect("slowdown");
                 assert!(slowdown > 1.0, "{}: {row:?}", r.id);
@@ -85,7 +86,7 @@ mod tests {
 
     #[test]
     fn both_figures_emitted() {
-        let rs = run(Scale::Quick);
+        let rs = run(&RunCtx::quick());
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[0].id, "fig12");
         assert_eq!(rs[1].id, "fig13");

@@ -14,7 +14,7 @@
 //! studies) as a documented constant factor on the measured run.
 
 use crate::report::secs;
-use crate::{Report, Scale};
+use crate::{Report, RunCtx};
 use cheetah_db::{Cluster, DbPredicate, DbQuery, IntCmp};
 use cheetah_workloads::bigdata::BigDataConfig;
 use cheetah_workloads::tpch::TpchConfig;
@@ -57,7 +57,8 @@ fn run_pair(
 }
 
 /// Build the figure.
-pub fn run(scale: Scale) -> Vec<Report> {
+pub fn run(ctx: &RunCtx) -> Vec<Report> {
+    let scale = ctx.scale;
     let bd = BigDataConfig {
         rankings_rows: scale.entries(60_000, 2_000_000),
         uservisits_rows: scale.entries(120_000, 6_000_000),
@@ -188,7 +189,7 @@ mod tests {
     #[test]
     fn all_nine_bars_present_and_outputs_equal() {
         // run() internally asserts output equality for every query.
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         assert_eq!(r.rows.len(), 9);
         for name in [
             "BigData A",
@@ -207,7 +208,7 @@ mod tests {
 
     #[test]
     fn aggregation_queries_prune_heavily() {
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         for name in ["Distinct", "GroupBy (Max)", "Skyline"] {
             let row = r.rows.iter().find(|row| row[0] == name).expect("row");
             let pruned: f64 = row[5].parse().expect("pruned %");

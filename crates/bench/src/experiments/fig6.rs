@@ -7,7 +7,7 @@
 //! (6a). Spark's first run is discarded, as in §8.2.2.
 
 use crate::report::secs;
-use crate::{Report, Scale};
+use crate::{Report, RunCtx, Scale};
 use cheetah_db::{Cluster, DbQuery};
 use cheetah_workloads::bigdata::BigDataConfig;
 
@@ -73,7 +73,8 @@ pub fn panel_b(scale: Scale) -> Report {
 }
 
 /// Both panels.
-pub fn run(scale: Scale) -> Vec<Report> {
+pub fn run(ctx: &RunCtx) -> Vec<Report> {
+    let scale = ctx.scale;
     vec![panel_a(scale), panel_b(scale)]
 }
 
@@ -83,7 +84,7 @@ mod tests {
 
     #[test]
     fn panels_have_expected_shape() {
-        let rs = run(Scale::Quick);
+        let rs = run(&RunCtx::quick());
         assert_eq!(rs[0].rows.len(), 5, "worker sweep 1..=5");
         assert_eq!(rs[1].rows.len(), 3, "three data scales");
     }

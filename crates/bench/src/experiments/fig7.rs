@@ -12,7 +12,7 @@
 //! changing the filter ranges (x-axis: result size as % of the input).
 
 use crate::report::secs;
-use crate::{Report, Scale};
+use crate::{Report, RunCtx};
 use cheetah_net::ENTRY_WIRE_BYTES;
 use cheetah_switch::DrainModel;
 
@@ -22,7 +22,8 @@ const LINK_GBPS: f64 = 10.0;
 const MASTER_NS_PER_ENTRY: f64 = 60.0;
 
 /// Build the figure.
-pub fn run(scale: Scale) -> Vec<Report> {
+pub fn run(ctx: &RunCtx) -> Vec<Report> {
+    let scale = ctx.scale;
     let input_entries = scale.entries(2_000_000, 50_000_000) as f64;
     let drain = DrainModel::default_model();
     let mut r = Report::new(
@@ -63,7 +64,7 @@ mod tests {
 
     #[test]
     fn netaccel_is_always_slower_and_gap_grows_absolutely() {
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         let parse = |s: &str| -> f64 {
             // secs() renders "1.23s" / "4.56ms" / "7.8µs".
             if let Some(x) = s.strip_suffix("ms") {

@@ -7,12 +7,13 @@
 //! time (§8.2.3).
 
 use crate::report::secs;
-use crate::{Report, Scale};
+use crate::{Report, RunCtx};
 use cheetah_db::{Cluster, DbQuery};
 use cheetah_workloads::bigdata::BigDataConfig;
 
 /// Build the figure.
-pub fn run(scale: Scale) -> Vec<Report> {
+pub fn run(ctx: &RunCtx) -> Vec<Report> {
+    let scale = ctx.scale;
     let bd =
         BigDataConfig { uservisits_rows: scale.entries(150_000, 5_000_000), ..Default::default() };
     let table = bd.uservisits();
@@ -74,7 +75,7 @@ mod tests {
 
     #[test]
     fn cheetah_network_halves_at_20g() {
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         let net_of = |system: &str, query: &str| {
             let row = r.rows.iter().find(|row| row[0] == query && row[1] == system).expect("row");
             parse_secs(&row[3])
@@ -91,7 +92,7 @@ mod tests {
         // Cheetah streams the whole column uncompressed; Spark ships small
         // compressed partials — that is the structural trade the paper
         // describes.
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         let net_of = |system: &str| {
             let row =
                 r.rows.iter().find(|row| row[0] == "Distinct" && row[1] == system).expect("row");

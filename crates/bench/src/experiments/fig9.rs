@@ -7,7 +7,7 @@
 //! slower, so they need more pruning for the same latency.
 
 use crate::report::secs;
-use crate::{Report, Scale};
+use crate::{Report, RunCtx};
 use cheetah_db::MasterIngestModel;
 
 /// Per-query master service rates (entries/second), in the measured order
@@ -16,7 +16,8 @@ pub const SERVICE_RATES: [(&str, f64); 3] =
     [("Top N", 5.0e6), ("Distinct", 2.5e6), ("Max Group-By", 1.2e6)];
 
 /// Build the figure.
-pub fn run(scale: Scale) -> Vec<Report> {
+pub fn run(ctx: &RunCtx) -> Vec<Report> {
+    let scale = ctx.scale;
     let total_entries = scale.entries(30_000_000, 100_000_000) as f64;
     let mut r = Report::new(
         "fig9",
@@ -31,6 +32,7 @@ pub fn run(scale: Scale) -> Vec<Report> {
                 arrival_rate: 10.0e6, // the CWorkers' ~10 Mpps at 10G
                 base_service_rate: rate,
                 backlog_halving: 4.0e6,
+                nic_cap_rate: 40.0e6,
             };
             cells.push(secs(m.blocking_latency(entries)));
         }
@@ -57,7 +59,7 @@ mod tests {
 
     #[test]
     fn growth_is_superlinear_for_slow_operators() {
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         // Max Group-By column: latency at 0.5 must exceed 5× latency at 0.1
         // (superlinear), while fractions only grew 5×.
         let at = |f: &str| {
@@ -69,7 +71,7 @@ mod tests {
 
     #[test]
     fn faster_operators_tolerate_more_unpruned_data() {
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         for row in &r.rows {
             let topn = parse_secs(&row[1]);
             let groupby = parse_secs(&row[3]);

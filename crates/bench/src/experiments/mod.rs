@@ -1,4 +1,5 @@
-//! One module per paper artifact, plus the design-choice ablations.
+//! One module per paper artifact, plus the design-choice ablations and
+//! the sharded-execution sweep.
 
 pub mod ablations;
 pub mod fig10;
@@ -9,13 +10,14 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod shards;
 pub mod table2;
 pub mod table3;
 
-use crate::{Report, Scale};
+use crate::{Report, RunCtx};
 
-/// An experiment entry point: scale in, one report per panel out.
-pub type ExperimentFn = fn(Scale) -> Vec<Report>;
+/// An experiment entry point: run context in, one report per panel out.
+pub type ExperimentFn = fn(&RunCtx) -> Vec<Report>;
 
 /// Every experiment, in paper order: `(id, runner)`.
 pub fn all() -> Vec<(&'static str, ExperimentFn)> {
@@ -31,6 +33,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("fig11", fig11::run),
         ("fig12_13", fig12_13::run),
         ("ablations", ablations::run),
+        ("shards", shards::run),
     ]
 }
 
@@ -43,7 +46,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
         for want in [
             "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12_13",
+            "fig12_13", "shards",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

@@ -7,7 +7,7 @@
 //! regression test that the implementations still fit the envelope the
 //! paper claims.
 
-use crate::{Report, Scale};
+use crate::{Report, RunCtx};
 use cheetah_core::{
     DistinctConfig, DistinctPruner, EvictionPolicy, FilterConfig, FilterPruner, GroupByConfig,
     GroupByPruner, HavingAgg, HavingConfig, HavingPruner, JoinConfig, JoinPruner, SkylineConfig,
@@ -28,7 +28,7 @@ fn fmt_row(name: &str, defaults: &str, u: UsageSummary) -> Vec<String> {
 }
 
 /// Build the table.
-pub fn run(_scale: Scale) -> Vec<Report> {
+pub fn run(_ctx: &RunCtx) -> Vec<Report> {
     let profile = SwitchProfile::tofino2();
     let mut r = Report::new(
         "table2",
@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn every_paper_algorithm_appears() {
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         let names: Vec<&str> = r.rows.iter().map(|row| row[0].as_str()).collect();
         for want in ["DISTINCT", "SKYLINE", "TOP N", "GROUP BY", "JOIN", "HAVING", "Filtering"] {
             assert!(names.iter().any(|n| n.contains(want)), "missing {want}");
@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn distinct_row_matches_paper_formula() {
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         let lru = r.rows.iter().find(|row| row[0].contains("LRU")).expect("row");
         // w stages, w ALUs, d·w·64b = 64 KB.
         assert_eq!(lru[2], "2");
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn aph_charges_tcam() {
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         let aph = r.rows.iter().find(|row| row[0].contains("APH")).expect("row");
         assert_eq!(aph[5], "128", "64 MSB rules per dimension, D=2");
     }

@@ -5,7 +5,7 @@
 //! so we reproduce the constants with their provenance and sanity-check
 //! the Tofino column against the [`SwitchProfile`] the simulator uses.
 
-use crate::{Report, Scale};
+use crate::{Report, RunCtx};
 use cheetah_switch::SwitchProfile;
 
 /// The rows of Table 3: (system, throughput, latency, paper citation).
@@ -18,7 +18,7 @@ pub const TABLE3: [(&str, &str, &str, &str); 5] = [
 ];
 
 /// Build the table.
-pub fn run(_scale: Scale) -> Vec<Report> {
+pub fn run(_ctx: &RunCtx) -> Vec<Report> {
     let mut r = Report::new(
         "table3",
         "Performance comparison of hardware choices (literature constants)",
@@ -45,7 +45,7 @@ mod tests {
         let t2 = SwitchProfile::tofino2();
         assert_eq!(t2.throughput_tbps, 12.8);
         assert!(t2.latency_ns < 1000);
-        let r = &run(Scale::Quick)[0];
+        let r = &run(&RunCtx::quick())[0];
         let tofino = r.rows.iter().find(|row| row[0].contains("Tofino")).expect("row");
         assert!(tofino[1].contains("12.8 Tbps"));
     }

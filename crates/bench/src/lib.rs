@@ -27,8 +27,10 @@
 
 pub mod experiments;
 pub mod report;
+pub mod smoke;
 
 pub use report::Report;
+pub use smoke::{run_smoke, SmokeFamily, SmokeReport};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,5 +48,30 @@ impl Scale {
             Scale::Quick => quick,
             Scale::Full => full,
         }
+    }
+}
+
+/// Shared experiment inputs: the scale plus the sweep axes an experiment
+/// may honour. Today that is one axis — the worker-shard counts driven by
+/// `cheetah-experiments --shards` — so adding the next axis (batch sizes,
+/// link rates…) does not change every experiment signature again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunCtx {
+    /// Stream/table sizes.
+    pub scale: Scale,
+    /// Worker-shard counts for sharded-execution sweeps (ignored by
+    /// experiments without a shard axis).
+    pub shards: Vec<usize>,
+}
+
+impl RunCtx {
+    /// A context at `scale` with the default 1→16 shard axis.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale, shards: vec![1, 2, 4, 8, 16] }
+    }
+
+    /// Quick scale, default axes — what unit tests and smoke runs use.
+    pub fn quick() -> Self {
+        Self::new(Scale::Quick)
     }
 }

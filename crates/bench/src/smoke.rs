@@ -1,0 +1,359 @@
+//! The perf-smoke harness behind CI's `BENCH_smoke.json` gate.
+//!
+//! A tiny, fixed-seed benchmark pass over every query family — including
+//! a 4-shard sharded run per mergeable family — that emits a
+//! machine-readable report (ops/sec and bytes-pruned) and can compare
+//! itself against a checked-in baseline. CI runs it on every push
+//! (`make bench-smoke` reproduces the exact invocation locally), uploads
+//! the JSON as an artifact, and fails the build on a >20 % regression.
+//!
+//! Two metric classes, deliberately mixed:
+//!
+//! * **ops/sec** is wall-clock (best of `reps` repetitions to shave
+//!   scheduler noise) — it catches a hot-path slowdown but varies across
+//!   machines, hence the generous default tolerance;
+//! * **bytes-pruned** is *deterministic* for a fixed seed — it catches a
+//!   silent pruning-quality regression even when the machine is fast
+//!   enough to hide it.
+//!
+//! The JSON is hand-rolled (one family per line) because the vendored
+//! serde stand-in has no serializer; the parser only promises to read
+//! what [`SmokeReport::to_json`] writes.
+
+use cheetah_core::ShardPartitioner;
+use cheetah_db::{Cluster, DbPredicate, DbQuery, IntCmp, ShardSpec, Table};
+use cheetah_net::ENTRY_WIRE_BYTES;
+use cheetah_workloads::SkewedTableConfig;
+use std::time::Instant;
+
+/// One query family's smoke metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmokeFamily {
+    /// Family id, e.g. `distinct` or `distinct@shards4`.
+    pub name: String,
+    /// Input rows per second of the best repetition.
+    pub ops_per_sec: f64,
+    /// Bytes the switch pruned off the wire (deterministic in the seed).
+    pub bytes_pruned: u64,
+    /// Survivor entries the master saw.
+    pub entries_to_master: u64,
+}
+
+/// The whole smoke report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmokeReport {
+    /// Workload seed.
+    pub seed: u64,
+    /// Rows in the (left) smoke table.
+    pub rows: usize,
+    /// Per-family metrics.
+    pub families: Vec<SmokeFamily>,
+}
+
+/// Shard count of the sharded smoke runs.
+pub const SMOKE_SHARDS: usize = 4;
+
+/// Query families the smoke pass covers (all seven [`DbQuery`] shapes).
+fn smoke_queries() -> Vec<(&'static str, DbQuery)> {
+    vec![
+        (
+            "filter-count",
+            DbQuery::FilterCount {
+                pred: DbPredicate::CmpInt { col: 1, op: IntCmp::Gt, lit: 90_000 },
+            },
+        ),
+        ("distinct", DbQuery::Distinct { col: 0 }),
+        ("topn", DbQuery::TopN { order_col: 1, n: 64 }),
+        ("groupby-max", DbQuery::GroupByMax { key_col: 0, val_col: 1 }),
+        ("having-sum", DbQuery::HavingSum { key_col: 0, val_col: 2, threshold: 40_000 }),
+        ("skyline", DbQuery::Skyline { cols: vec![1, 2] }),
+        ("join", DbQuery::Join { left_key: 0, right_key: 0 }),
+    ]
+}
+
+fn smoke_tables(seed: u64, rows: usize) -> (Table, Table) {
+    let left = SkewedTableConfig {
+        rows,
+        partitions: 4,
+        partition_skew: 0.6,
+        keys: 200,
+        key_skew: 1.0,
+        seed,
+    }
+    .build();
+    let right = SkewedTableConfig {
+        rows: rows / 2,
+        partitions: 2,
+        partition_skew: 0.4,
+        keys: 200,
+        key_skew: 0.8,
+        seed: seed ^ 0xFACE,
+    }
+    .build();
+    (left, right)
+}
+
+/// Time `execute` best-of-`reps` and record one family. `execute` returns
+/// the run's `(pruned entries, entries to master)` — the same metric
+/// derivation for unsharded and sharded passes by construction.
+fn measure_family(
+    name: String,
+    input_rows: usize,
+    reps: usize,
+    mut execute: impl FnMut() -> (u64, u64),
+) -> SmokeFamily {
+    let mut best = f64::INFINITY;
+    let mut counters = (0, 0);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        counters = execute();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let (pruned, entries_to_master) = counters;
+    SmokeFamily {
+        name,
+        ops_per_sec: input_rows as f64 / best.max(1e-12),
+        bytes_pruned: pruned * ENTRY_WIRE_BYTES,
+        entries_to_master,
+    }
+}
+
+/// Run the smoke pass: every family unsharded, plus a
+/// [`SMOKE_SHARDS`]-shard run for three representative families.
+pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
+    let (left, right) = smoke_tables(seed, rows);
+    let cluster = Cluster::default();
+    let mut families = Vec::new();
+
+    for (name, q) in smoke_queries() {
+        let right_of = q.is_binary().then_some(&right);
+        let input_rows = left.rows() + right_of.map_or(0, |r| r.rows());
+        families.push(measure_family(name.to_string(), input_rows, reps, || {
+            let run = cluster.run_cheetah(&q, &left, right_of).expect("plan fits");
+            (run.switch_stats.pruned, run.breakdown.entries_to_master)
+        }));
+    }
+
+    for (name, q) in [
+        ("distinct", DbQuery::Distinct { col: 0 }),
+        ("groupby-max", DbQuery::GroupByMax { key_col: 0, val_col: 1 }),
+        ("join", DbQuery::Join { left_key: 0, right_key: 0 }),
+    ] {
+        let right_of = q.is_binary().then_some(&right);
+        let input_rows = left.rows() + right_of.map_or(0, |r| r.rows());
+        let spec = ShardSpec::new(SMOKE_SHARDS, ShardPartitioner::Hash);
+        families.push(measure_family(
+            format!("{name}@shards{SMOKE_SHARDS}"),
+            input_rows,
+            reps,
+            || {
+                let run =
+                    cluster.run_cheetah_sharded(&q, &left, right_of, &spec).expect("plan fits");
+                (run.switch_stats.pruned, run.breakdown.entries_to_master)
+            },
+        ));
+    }
+
+    SmokeReport { seed, rows, families }
+}
+
+impl SmokeReport {
+    /// Serialize: one family object per line, stable field order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema\": 1,\n  \"seed\": {},\n  \"rows\": {},\n",
+            self.seed, self.rows
+        ));
+        out.push_str("  \"families\": [\n");
+        for (i, f) in self.families.iter().enumerate() {
+            let comma = if i + 1 < self.families.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, \"bytes_pruned\": {}, \"entries_to_master\": {}}}{comma}\n",
+                f.name, f.ops_per_sec, f.bytes_pruned, f.entries_to_master
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse what [`SmokeReport::to_json`] writes (not a general JSON
+    /// parser — the build environment has no serde_json).
+    pub fn parse_json(s: &str) -> Result<SmokeReport, String> {
+        let num_field = |line: &str, key: &str| -> Option<f64> {
+            let tag = format!("\"{key}\":");
+            let at = line.find(&tag)? + tag.len();
+            let rest = line[at..].trim_start();
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            rest[..end].trim().parse::<f64>().ok()
+        };
+        let str_field = |line: &str, key: &str| -> Option<String> {
+            let tag = format!("\"{key}\": \"");
+            let at = line.find(&tag)? + tag.len();
+            let end = line[at..].find('"')?;
+            Some(line[at..at + end].to_string())
+        };
+        let mut seed = None;
+        let mut rows = None;
+        let mut families = Vec::new();
+        for line in s.lines() {
+            if seed.is_none() {
+                seed = num_field(line, "seed").map(|v| v as u64);
+            }
+            if rows.is_none() {
+                rows = num_field(line, "rows").map(|v| v as usize);
+            }
+            if let Some(name) = str_field(line, "name") {
+                let ops = num_field(line, "ops_per_sec")
+                    .ok_or_else(|| format!("family {name}: missing ops_per_sec"))?;
+                let bytes = num_field(line, "bytes_pruned")
+                    .ok_or_else(|| format!("family {name}: missing bytes_pruned"))?;
+                let entries = num_field(line, "entries_to_master")
+                    .ok_or_else(|| format!("family {name}: missing entries_to_master"))?;
+                families.push(SmokeFamily {
+                    name,
+                    ops_per_sec: ops,
+                    bytes_pruned: bytes as u64,
+                    entries_to_master: entries as u64,
+                });
+            }
+        }
+        if families.is_empty() {
+            return Err("no families found in smoke JSON".to_string());
+        }
+        Ok(SmokeReport {
+            seed: seed.ok_or("missing seed")?,
+            rows: rows.ok_or("missing rows")?,
+            families,
+        })
+    }
+
+    /// Compare against a baseline: every baseline family must still exist,
+    /// its ops/sec must not have dropped by more than `tolerance`
+    /// (fraction, e.g. `0.2`), and its bytes-pruned must not have shrunk
+    /// by more than `tolerance` (less pruning = quality regression).
+    /// Returns the violations, empty when the gate passes.
+    pub fn regressions_against(&self, baseline: &SmokeReport, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        // The deterministic metrics only mean anything on the same
+        // workload; a seed/size mismatch is a misconfigured gate, not a
+        // comparable run.
+        if self.seed != baseline.seed {
+            violations.push(format!(
+                "workload seed mismatch: run has {}, baseline has {} — not comparable",
+                self.seed, baseline.seed
+            ));
+            return violations;
+        }
+        if self.rows != baseline.rows {
+            violations.push(format!(
+                "workload size mismatch: run has {} rows, baseline has {} — not comparable",
+                self.rows, baseline.rows
+            ));
+            return violations;
+        }
+        for base in &baseline.families {
+            let Some(cur) = self.families.iter().find(|f| f.name == base.name) else {
+                violations.push(format!("family {} disappeared from the smoke run", base.name));
+                continue;
+            };
+            let ops_floor = base.ops_per_sec * (1.0 - tolerance);
+            if cur.ops_per_sec < ops_floor {
+                violations.push(format!(
+                    "{}: ops/sec regressed {:.0} -> {:.0} (floor {:.0})",
+                    base.name, base.ops_per_sec, cur.ops_per_sec, ops_floor
+                ));
+            }
+            let bytes_floor = (base.bytes_pruned as f64 * (1.0 - tolerance)) as u64;
+            if cur.bytes_pruned < bytes_floor {
+                violations.push(format!(
+                    "{}: bytes-pruned regressed {} -> {} (floor {})",
+                    base.name, base.bytes_pruned, cur.bytes_pruned, bytes_floor
+                ));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_covers_all_seven_families_plus_sharded_runs() {
+        let r = run_smoke(42, 2_000, 1);
+        let names: Vec<&str> = r.families.iter().map(|f| f.name.as_str()).collect();
+        for want in
+            ["filter-count", "distinct", "topn", "groupby-max", "having-sum", "skyline", "join"]
+        {
+            assert!(names.contains(&want), "missing {want}");
+        }
+        assert!(names.iter().filter(|n| n.contains("@shards4")).count() == 3);
+        for f in &r.families {
+            assert!(f.ops_per_sec > 0.0, "{}: zero throughput", f.name);
+        }
+    }
+
+    #[test]
+    fn bytes_pruned_is_deterministic_in_the_seed() {
+        let a = run_smoke(7, 2_000, 1);
+        let b = run_smoke(7, 2_000, 1);
+        for (x, y) in a.families.iter().zip(&b.families) {
+            assert_eq!(x.bytes_pruned, y.bytes_pruned, "{}", x.name);
+            assert_eq!(x.entries_to_master, y.entries_to_master, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = run_smoke(3, 1_000, 1);
+        let parsed = SmokeReport::parse_json(&r.to_json()).expect("parse back");
+        assert_eq!(parsed.seed, r.seed);
+        assert_eq!(parsed.rows, r.rows);
+        assert_eq!(parsed.families.len(), r.families.len());
+        for (a, b) in parsed.families.iter().zip(&r.families) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.bytes_pruned, b.bytes_pruned);
+            assert!((a.ops_per_sec - b.ops_per_sec).abs() <= 0.1);
+        }
+    }
+
+    #[test]
+    fn regression_gate_catches_slowdowns_and_pruning_loss() {
+        let base = run_smoke(3, 1_000, 1);
+        // Same report: no violations.
+        assert!(base.regressions_against(&base, 0.2).is_empty());
+        // A 10× slowdown of one family trips the ops gate.
+        let mut slow = base.clone();
+        slow.families[0].ops_per_sec = base.families[0].ops_per_sec / 10.0;
+        let v = slow.regressions_against(&base, 0.2);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("ops/sec regressed"));
+        // Halving bytes-pruned trips the quality gate.
+        let mut weak = base.clone();
+        weak.families[1].bytes_pruned = base.families[1].bytes_pruned / 2;
+        let v = weak.regressions_against(&base, 0.2);
+        assert!(v.iter().any(|m| m.contains("bytes-pruned regressed")), "{v:?}");
+        // A vanished family is always a violation.
+        let mut gone = base.clone();
+        gone.families.remove(0);
+        assert!(!gone.regressions_against(&base, 0.2).is_empty());
+        // A different workload is never comparable, even if all metrics
+        // happen to sit above the floors.
+        let mut reseeded = base.clone();
+        reseeded.seed = 999;
+        let v = reseeded.regressions_against(&base, 0.2);
+        assert!(v.len() == 1 && v[0].contains("seed mismatch"), "{v:?}");
+        let mut resized = base.clone();
+        resized.rows += 1;
+        assert!(resized.regressions_against(&base, 0.2)[0].contains("size mismatch"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(SmokeReport::parse_json("not json at all").is_err());
+        assert!(SmokeReport::parse_json("{}").is_err());
+    }
+}

@@ -26,6 +26,12 @@ pub enum Error {
         /// Slots an entry header can carry.
         max: usize,
     },
+    /// An execution plan referenced an input stream the source does not
+    /// carry — e.g. a binary-join shard plan over a unary source.
+    MissingStream {
+        /// The out-of-range stream index.
+        stream: usize,
+    },
 }
 
 impl Error {
@@ -33,7 +39,7 @@ impl Error {
     pub fn as_switch(&self) -> Option<&SwitchError> {
         match self {
             Error::Switch(e) => Some(e),
-            Error::ValueSlotOverflow { .. } => None,
+            Error::ValueSlotOverflow { .. } | Error::MissingStream { .. } => None,
         }
     }
 }
@@ -45,6 +51,9 @@ impl fmt::Display for Error {
             Error::ValueSlotOverflow { got, max } => {
                 write!(f, "operator encoded {got} packet value slots but an entry carries {max}")
             }
+            Error::MissingStream { stream } => {
+                write!(f, "execution plan references input stream {stream}, which the source does not carry")
+            }
         }
     }
 }
@@ -53,7 +62,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Switch(e) => Some(e),
-            Error::ValueSlotOverflow { .. } => None,
+            Error::ValueSlotOverflow { .. } | Error::MissingStream { .. } => None,
         }
     }
 }
@@ -80,6 +89,13 @@ mod tests {
         let e = Error::ValueSlotOverflow { got: 9, max: 4 };
         let s = e.to_string();
         assert!(s.contains('9') && s.contains('4'), "{s}");
+        assert!(e.as_switch().is_none());
+    }
+
+    #[test]
+    fn missing_stream_is_informative() {
+        let e = Error::MissingStream { stream: 1 };
+        assert!(e.to_string().contains("stream 1"), "{e}");
         assert!(e.as_switch().is_none());
     }
 

@@ -166,6 +166,8 @@ impl Cluster {
                 master_wire_bytes: compressed,
                 entries_to_master: entries,
                 passes: 1,
+                shards: 1,
+                master_ingest_seconds: 0.0,
             },
         }
     }

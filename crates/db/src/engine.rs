@@ -237,11 +237,14 @@ mod tests {
         let t = test_table(2_000, 2);
         let mut cluster = Cluster { spark_row_overhead_ns: 0.0, ..Cluster::default() };
         let raw = cluster.run_baseline(&q, &t, None);
-        cluster.spark_row_overhead_ns = 1_000.0;
+        // An exaggerated 10 µs/row calibration: the 10 ms it adds to the
+        // busiest worker dwarfs any scheduler noise from the rest of the
+        // (thread-heavy) test suite running concurrently.
+        cluster.spark_row_overhead_ns = 10_000.0;
         let calibrated = cluster.run_baseline(&q, &t, None);
-        // 1000 rows per partition × 1 µs = 1 ms extra on the busiest worker.
+        // 1000 rows per partition × 10 µs = 10 ms extra on the busiest worker.
         let delta = calibrated.breakdown.worker_seconds - raw.breakdown.worker_seconds;
-        assert!(delta > 0.5e-3, "calibration missing: {delta}");
+        assert!(delta > 5e-3, "calibration missing: {delta}");
         // The Cheetah path is never calibrated — it measures real work.
         let chee = cluster.run_cheetah(&q, &t, None).unwrap();
         assert!(chee.breakdown.worker_seconds < calibrated.breakdown.worker_seconds);

@@ -50,11 +50,20 @@ impl<'a> Tables<'a> {
         Self { left, right: Some(right) }
     }
 
-    /// The table feeding stream `i`.
-    pub fn stream(&self, i: usize) -> &'a Table {
+    /// Number of streams the source carries (1, or 2 for binary).
+    pub fn streams(&self) -> usize {
+        1 + usize::from(self.right.is_some())
+    }
+
+    /// The table feeding stream `i`, or a typed
+    /// [`Error::MissingStream`](cheetah_core::Error::MissingStream) when
+    /// the source does not carry it — a misconfigured binary-join shard
+    /// plan over a unary source fails loudly but cleanly, never panics.
+    pub fn stream(&self, i: usize) -> cheetah_core::Result<&'a Table> {
         match i {
-            0 => self.left,
-            _ => self.right.expect("binary query needs a right table"),
+            0 => Ok(self.left),
+            1 => self.right.ok_or(cheetah_core::Error::MissingStream { stream: i }),
+            _ => Err(cheetah_core::Error::MissingStream { stream: i }),
         }
     }
 }
@@ -68,6 +77,12 @@ impl Cluster {
     where
         O: PruningOperator<Tables<'a>, Encoded, Output = QueryOutput>,
     {
+        // Reject a plan whose stream arity exceeds the source's before any
+        // work happens — the typed error names the missing stream.
+        for s in 0..op.streams() {
+            tables.stream(s)?;
+        }
+
         // Plan the switch program.
         let plan = planner::plan(&op.spec()?, self.profile.clone())?;
         let planner::Plan { pipeline, program, usage, .. } = plan;
@@ -105,6 +120,8 @@ impl Cluster {
                 master_wire_bytes: survivor_count * ENTRY_WIRE_BYTES,
                 entries_to_master: survivor_count,
                 passes,
+                shards: 1,
+                master_ingest_seconds: 0.0,
             },
             switch_stats: stats,
             rules: usage.rules,
@@ -123,7 +140,7 @@ fn serialize<'a, O>(
 where
     O: PruningOperator<Tables<'a>, Encoded, Output = QueryOutput>,
 {
-    let parts = tables.stream(stream).partitions();
+    let parts = tables.stream(stream)?.partitions();
     let results: Vec<cheetah_core::Result<(Vec<Encoded>, f64)>> = std::thread::scope(|sc| {
         let handles: Vec<_> = parts
             .iter()
@@ -392,6 +409,28 @@ mod tests {
         fn complete(&self, _src: &Tables<'a>, _survivors: &[Vec<Encoded>]) -> QueryOutput {
             QueryOutput::Count(0)
         }
+    }
+
+    #[test]
+    fn out_of_range_stream_is_a_typed_error_not_a_panic() {
+        let t = test_table(10, 1);
+        let tables = Tables::unary(&t);
+        assert!(tables.stream(0).is_ok());
+        assert_eq!(tables.stream(1).unwrap_err(), Error::MissingStream { stream: 1 });
+        assert_eq!(tables.stream(7).unwrap_err(), Error::MissingStream { stream: 7 });
+        assert_eq!(Tables::binary(&t, &t).streams(), 2);
+        assert!(Tables::binary(&t, &t).stream(1).is_ok());
+    }
+
+    #[test]
+    fn binary_operator_over_unary_source_fails_loudly_but_cleanly() {
+        // The misconfigured-shard-plan case: a JOIN operator (2 streams)
+        // pointed at a source carrying only one table.
+        let cluster = Cluster::default();
+        let t = test_table(10, 1);
+        let op = crate::operators::JoinOp::new(0, 0, &cluster.tuning);
+        let err = cluster.execute(&op, &Tables::unary(&t)).unwrap_err();
+        assert_eq!(err, Error::MissingStream { stream: 1 });
     }
 
     #[test]

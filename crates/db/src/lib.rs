@@ -13,7 +13,12 @@
 //! * a **Cheetah path** where workers only *serialize* the queried columns
 //!   (no per-row computation), the switch prunes, and the master completes
 //!   the query on the survivors — producing bit-identical output to the
-//!   baseline path.
+//!   baseline path,
+//! * a **sharded layer** ([`sharded`]) that routes rows to N worker
+//!   shards (hash/range partitioners from `cheetah-core`), runs the
+//!   generic executor per shard in parallel — each with its own switch
+//!   program — and merges at the master ([`master`]) with per-operator
+//!   semantics, preserving `Q(merge(shards(D))) = Q(D)`.
 //!
 //! What is modelled and what is not (smoltcp-style honesty):
 //!
@@ -37,16 +42,19 @@ pub mod master;
 pub mod operators;
 pub mod ops;
 pub mod query;
+pub mod sharded;
 pub mod table;
 pub mod value;
 
 #[cfg(test)]
 mod testutil;
 
+pub use cheetah_core::{ShardPartitioner, Sharder};
 pub use engine::{CheetahRun, CheetahTuning, Cluster, ExecBreakdown, SparkRun};
 pub use executor::Tables;
 pub use expr::{DbPredicate, IntCmp, LikePattern};
-pub use master::MasterIngestModel;
+pub use master::{merge_shard_outputs, MasterIngestModel};
 pub use query::{DbQuery, QueryOutput};
+pub use sharded::{ShardSpec, ShardStats, ShardedRun};
 pub use table::{Column, Partition, Table, TableBuilder};
 pub use value::{DataType, Value};

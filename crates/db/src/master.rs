@@ -1,114 +1,234 @@
-//! Master-side models: ingest buffering (Figure 9) and completion from
-//! pruned streams.
+//! The master merge plane: completing a query from per-shard results.
 //!
-//! §8.3: *"The increase is super-linear in the unpruned rate since the
-//! master can handle each arriving entry immediately when almost all
-//! entries are pruned. In contrast, when the pruning rate is low, the
-//! entries buffer up at the master, causing an increase in the completion
-//! time."* [`MasterIngestModel`] reproduces that mechanism: entries arrive
-//! at the NIC rate, are serviced at a per-query rate, and the service rate
-//! degrades as the backlog grows (allocation/GC pressure at scale).
+//! Under sharded execution (§2's deployment model, [`crate::sharded`])
+//! every shard runs the full pruned dataflow over its slice of the data
+//! and completes its query locally; the master then merges the shard
+//! outputs into the global answer. The merge re-applies the operator's
+//! `complete` contract over the pruned union, which per query family
+//! means:
+//!
+//! * **re-prune** — TOP N re-sorts and truncates the union, SKYLINE
+//!   re-runs the exact dominance check over the shard skylines, DISTINCT
+//!   re-normalizes the value union. Correct under *any* deterministic
+//!   shard routing, because every global survivor survives its own shard.
+//! * **key-union** — GROUP BY MAX takes the per-key max across shards;
+//!   HAVING unions the per-shard qualifying keys. HAVING additionally
+//!   *requires key-aligned routing* (all rows of a key on one shard, which
+//!   [`crate::sharded`] guarantees) so local sums are global sums.
+//! * **count-sum** — filtered counts and JOIN pair counts add up; JOIN
+//!   requires shard-aligned co-partitioning (both sides routed by the join
+//!   key with the same [`Sharder`](cheetah_core::Sharder)) so every
+//!   matching pair meets inside exactly one shard.
+//!
+//! The ingest-side queueing model ([`MasterIngestModel`], Figure 9 and the
+//! §4.6 master-bottleneck analysis) lives in `cheetah-net` next to the
+//! link models; it is re-exported here because the master is where callers
+//! meet it.
 
-use serde::{Deserialize, Serialize};
+// The ingest model moved to the layer that owns link modelling; the
+// re-export keeps `cheetah_db::MasterIngestModel` working.
+pub use cheetah_net::MasterIngestModel;
 
-/// Queueing model of the master ingesting a pruned stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct MasterIngestModel {
-    /// Entry arrival rate at the master's NIC (entries/second) — the
-    /// CWorker send rate times the unpruned fraction.
-    pub arrival_rate: f64,
-    /// Base service rate (entries/second) of the query's software
-    /// completion operator — e.g. TOP N's heap handles millions/s while
-    /// SKYLINE's dominance checks are far slower (§8.3).
-    pub base_service_rate: f64,
-    /// Backlog at which the effective service rate has halved (buffering/
-    /// allocation pressure). Entries.
-    pub backlog_halving: f64,
+use crate::ops;
+use crate::query::{DbQuery, QueryOutput};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Merge per-shard outputs of `q` into the global output, following the
+/// per-operator semantics above. Every element of `outputs` must be the
+/// variant `q` produces (they come from the same executor); a mismatch is
+/// a bug in the caller, not a data error, and panics.
+pub fn merge_shard_outputs(q: &DbQuery, outputs: Vec<QueryOutput>) -> QueryOutput {
+    match q {
+        // Count-sum family.
+        DbQuery::FilterCount { .. } => QueryOutput::Count(
+            outputs
+                .into_iter()
+                .map(|o| match o {
+                    QueryOutput::Count(c) => c,
+                    other => mismatch("Count", &other),
+                })
+                .sum(),
+        ),
+        DbQuery::Join { .. } => QueryOutput::JoinPairs(
+            outputs
+                .into_iter()
+                .map(|o| match o {
+                    QueryOutput::JoinPairs(p) => p,
+                    other => mismatch("JoinPairs", &other),
+                })
+                .sum(),
+        ),
+        // Re-prune family.
+        DbQuery::Distinct { .. } => {
+            let mut vals: Vec<Value> = Vec::new();
+            for o in outputs {
+                match o {
+                    QueryOutput::Values(v) => vals.extend(v),
+                    other => mismatch("Values", &other),
+                }
+            }
+            QueryOutput::values(vals)
+        }
+        DbQuery::TopN { n, .. } => {
+            let partials: Vec<Vec<i64>> = outputs
+                .into_iter()
+                .map(|o| match o {
+                    QueryOutput::TopValues(v) => v,
+                    other => mismatch("TopValues", &other),
+                })
+                .collect();
+            QueryOutput::top_values(ops::merge_topn(partials, *n))
+        }
+        DbQuery::Skyline { .. } => {
+            let mut pts: Vec<Vec<i64>> = Vec::new();
+            for o in outputs {
+                match o {
+                    QueryOutput::Points(p) => pts.extend(p),
+                    other => mismatch("Points", &other),
+                }
+            }
+            QueryOutput::points(ops::skyline_of(&pts))
+        }
+        // Key-union family.
+        DbQuery::GroupByMax { .. } => {
+            let mut merged: BTreeMap<Value, i64> = BTreeMap::new();
+            for o in outputs {
+                match o {
+                    QueryOutput::KeyedInts(m) => {
+                        for (k, v) in m {
+                            merged.entry(k).and_modify(|x| *x = (*x).max(v)).or_insert(v);
+                        }
+                    }
+                    other => mismatch("KeyedInts", &other),
+                }
+            }
+            QueryOutput::KeyedInts(merged)
+        }
+        DbQuery::HavingSum { .. } => {
+            // Key-aligned routing puts every row of a key on one shard, so
+            // shard-local sums (and the threshold decision) are global.
+            let mut merged: BTreeMap<Value, i64> = BTreeMap::new();
+            for o in outputs {
+                match o {
+                    QueryOutput::KeyedInts(m) => merged.extend(m),
+                    other => mismatch("KeyedInts", &other),
+                }
+            }
+            QueryOutput::KeyedInts(merged)
+        }
+    }
 }
 
-impl MasterIngestModel {
-    /// Blocking latency (seconds) for the master to finish ingesting and
-    /// processing `entries` entries.
-    ///
-    /// Simulated in coarse steps: while entries are arriving the master
-    /// services at a backlog-degraded rate; after the last arrival it
-    /// drains the remaining backlog.
-    pub fn blocking_latency(&self, entries: u64) -> f64 {
-        if entries == 0 {
-            return 0.0;
-        }
-        let n = entries as f64;
-        let arrive_time = n / self.arrival_rate;
-        // Integrate in 100 steps over the arrival window.
-        let steps = 100;
-        let dt = arrive_time / steps as f64;
-        let mut backlog = 0.0f64;
-        let mut processed = 0.0f64;
-        for _ in 0..steps {
-            backlog += self.arrival_rate * dt;
-            let rate = self.base_service_rate / (1.0 + backlog / self.backlog_halving);
-            let served = (rate * dt).min(backlog);
-            backlog -= served;
-            processed += served;
-        }
-        let mut t = arrive_time;
-        // Drain the backlog.
-        let mut guard = 0;
-        while processed < n - 1e-9 && guard < 1_000_000 {
-            let rate = self.base_service_rate / (1.0 + backlog / self.backlog_halving);
-            let dt = (backlog / rate).clamp(1e-9, 0.01);
-            let served = (rate * dt).min(backlog);
-            backlog -= served;
-            processed += served;
-            t += dt;
-            guard += 1;
-        }
-        t
-    }
+fn mismatch(expected: &str, got: &QueryOutput) -> ! {
+    panic!("shard output variant mismatch: expected {expected}, got {got:?}")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::{DbPredicate, IntCmp};
 
-    fn model(service: f64) -> MasterIngestModel {
-        MasterIngestModel {
-            arrival_rate: 10_000_000.0,
-            base_service_rate: service,
-            backlog_halving: 2_000_000.0,
-        }
+    fn filter_q() -> DbQuery {
+        DbQuery::FilterCount { pred: DbPredicate::CmpInt { col: 0, op: IntCmp::Lt, lit: 1 } }
     }
 
     #[test]
-    fn zero_entries_zero_latency() {
-        assert_eq!(model(1e6).blocking_latency(0), 0.0);
+    fn counts_and_join_pairs_sum() {
+        let merged = merge_shard_outputs(
+            &filter_q(),
+            vec![QueryOutput::Count(3), QueryOutput::Count(0), QueryOutput::Count(4)],
+        );
+        assert_eq!(merged, QueryOutput::Count(7));
+        let joined = merge_shard_outputs(
+            &DbQuery::Join { left_key: 0, right_key: 0 },
+            vec![QueryOutput::JoinPairs(5), QueryOutput::JoinPairs(2)],
+        );
+        assert_eq!(joined, QueryOutput::JoinPairs(7));
     }
 
     #[test]
-    fn latency_grows_superlinearly_in_entries() {
-        // Figure 9's key property: doubling the unpruned entries more than
-        // doubles the blocking latency once buffering kicks in.
-        let m = model(2_000_000.0);
-        let t1 = m.blocking_latency(5_000_000);
-        let t2 = m.blocking_latency(10_000_000);
-        assert!(t2 > 2.0 * t1 * 1.05, "t1={t1}, t2={t2}");
+    fn distinct_union_renormalizes() {
+        let merged = merge_shard_outputs(
+            &DbQuery::Distinct { col: 0 },
+            vec![
+                QueryOutput::values(vec![Value::Int(2), Value::Int(1)]),
+                QueryOutput::values(vec![Value::Int(2), Value::Int(3)]),
+            ],
+        );
+        assert_eq!(merged, QueryOutput::Values(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
     }
 
     #[test]
-    fn fast_service_tracks_arrival() {
-        // When the master can keep up, latency ≈ arrival time.
-        let m = model(1e9);
-        let t = m.blocking_latency(1_000_000);
-        let arrive = 1_000_000.0 / m.arrival_rate;
-        assert!((t - arrive).abs() < arrive * 0.2, "t={t}, arrive={arrive}");
+    fn topn_re_prunes_to_n() {
+        let merged = merge_shard_outputs(
+            &DbQuery::TopN { order_col: 0, n: 3 },
+            vec![QueryOutput::top_values(vec![9, 7, 5]), QueryOutput::top_values(vec![8, 6])],
+        );
+        assert_eq!(merged, QueryOutput::TopValues(vec![9, 8, 7]));
     }
 
     #[test]
-    fn slower_operators_take_longer() {
-        // §8.3: SKYLINE's expensive software operator needs more pruning
-        // than TOP N's heap for the same latency.
-        let fast = model(5e6).blocking_latency(2_000_000);
-        let slow = model(2e5).blocking_latency(2_000_000);
-        assert!(slow > fast * 2.0);
+    fn skyline_re_prunes_cross_shard_domination() {
+        // Shard 0's champion (3,3) dominates shard 1's survivors.
+        let merged = merge_shard_outputs(
+            &DbQuery::Skyline { cols: vec![0, 1] },
+            vec![
+                QueryOutput::points(vec![vec![3, 3]]),
+                QueryOutput::points(vec![vec![1, 2], vec![2, 1]]),
+            ],
+        );
+        assert_eq!(merged, QueryOutput::Points(vec![vec![3, 3]]));
+    }
+
+    #[test]
+    fn groupby_key_union_takes_the_max() {
+        let m1: BTreeMap<Value, i64> =
+            [(Value::Int(1), 5), (Value::Int(2), 9)].into_iter().collect();
+        let m2: BTreeMap<Value, i64> =
+            [(Value::Int(1), 8), (Value::Int(3), 1)].into_iter().collect();
+        let merged = merge_shard_outputs(
+            &DbQuery::GroupByMax { key_col: 0, val_col: 1 },
+            vec![QueryOutput::KeyedInts(m1), QueryOutput::KeyedInts(m2)],
+        );
+        let want: BTreeMap<Value, i64> =
+            [(Value::Int(1), 8), (Value::Int(2), 9), (Value::Int(3), 1)].into_iter().collect();
+        assert_eq!(merged, QueryOutput::KeyedInts(want));
+    }
+
+    #[test]
+    fn having_unions_disjoint_key_sets() {
+        let m1: BTreeMap<Value, i64> = [(Value::Int(1), 100)].into_iter().collect();
+        let m2: BTreeMap<Value, i64> = [(Value::Int(2), 200)].into_iter().collect();
+        let merged = merge_shard_outputs(
+            &DbQuery::HavingSum { key_col: 0, val_col: 1, threshold: 50 },
+            vec![QueryOutput::KeyedInts(m1), QueryOutput::KeyedInts(m2)],
+        );
+        let want: BTreeMap<Value, i64> =
+            [(Value::Int(1), 100), (Value::Int(2), 200)].into_iter().collect();
+        assert_eq!(merged, QueryOutput::KeyedInts(want));
+    }
+
+    #[test]
+    fn empty_shard_list_yields_empty_output() {
+        assert_eq!(merge_shard_outputs(&filter_q(), vec![]), QueryOutput::Count(0));
+        assert_eq!(
+            merge_shard_outputs(&DbQuery::Distinct { col: 0 }, vec![]),
+            QueryOutput::Values(vec![])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "variant mismatch")]
+    fn variant_mismatch_is_a_loud_bug() {
+        let _ = merge_shard_outputs(&filter_q(), vec![QueryOutput::JoinPairs(1)]);
+    }
+
+    #[test]
+    fn ingest_model_reexport_still_works() {
+        // PR compat: `cheetah_db::MasterIngestModel` predates the move of
+        // the model into cheetah-net.
+        let m = MasterIngestModel::default_rack();
+        assert!(m.blocking_latency(1_000) > 0.0);
     }
 }

@@ -42,7 +42,7 @@ impl<'a, 'q> PruningOperator<Tables<'a>, Encoded> for FilterOp<'q> {
     }
 
     fn encode(&self, src: &Tables<'a>, stream: usize, part: usize, row: usize, out: &mut Vec<u64>) {
-        let p = &src.stream(stream).partitions()[part];
+        let p = &super::stream_table(src, stream).partitions()[part];
         out.extend(
             self.slots
                 .iter()

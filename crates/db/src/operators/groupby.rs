@@ -54,7 +54,7 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for GroupByMaxOp {
     }
 
     fn encode(&self, src: &Tables<'a>, stream: usize, part: usize, row: usize, out: &mut Vec<u64>) {
-        let p = &src.stream(stream).partitions()[part];
+        let p = &super::stream_table(src, stream).partitions()[part];
         out.push(encode_key(self.seed, &p.column(self.key_col).get(row)));
         out.push(encode_i64_32(p.column(self.val_col).as_int().expect("int agg col")[row]));
     }

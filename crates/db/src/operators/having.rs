@@ -44,10 +44,21 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for HavingSumOp {
     fn spec(&self) -> cheetah_core::Result<QuerySpec> {
         // `SUM < c` is future work in the paper; the planner rejects it.
         planner::validate_having_direction(false)?;
+        // The sketch sums clamped non-negative values against an unsigned
+        // threshold, so `c < 0` cannot be decided on the switch: a key
+        // whose true (negative) sum exceeds `c` would estimate 0 ≤ 0 and
+        // never be announced — a silent contract violation. Reject it
+        // loudly instead.
+        if self.threshold < 0 {
+            return Err(cheetah_switch::SwitchError::UnsupportedOp {
+                op: "HAVING SUM > c with negative c (sketch sums are unsigned)",
+            }
+            .into());
+        }
         Ok(QuerySpec::Having(HavingConfig {
             cm_rows: 3,
             cm_counters: self.counters,
-            threshold: self.threshold.max(0) as u64,
+            threshold: self.threshold as u64,
             agg: HavingAgg::Sum,
             dedup_rows: 1024,
             dedup_cols: 2,
@@ -60,7 +71,7 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for HavingSumOp {
     }
 
     fn encode(&self, src: &Tables<'a>, stream: usize, part: usize, row: usize, out: &mut Vec<u64>) {
-        let p = &src.stream(stream).partitions()[part];
+        let p = &super::stream_table(src, stream).partitions()[part];
         out.push(encode_key(self.seed, &p.column(self.key_col).get(row)));
         out.push(p.column(self.val_col).as_int().expect("int sum col")[row].max(0) as u64);
     }
@@ -74,5 +85,42 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for HavingSumOp {
             *sums.entry(k).or_insert(0) += p.column(self.val_col).as_int().expect("int sum col")[r];
         }
         QueryOutput::KeyedInts(sums.into_iter().filter(|(_, s)| *s > self.threshold).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::Cluster;
+    use crate::query::DbQuery;
+    use crate::testutil::test_table;
+    use cheetah_core::Error;
+    use cheetah_switch::SwitchError;
+
+    #[test]
+    fn negative_threshold_is_a_typed_error_not_a_wrong_answer() {
+        // A negative threshold cannot be decided by the unsigned sketch;
+        // the switch path must refuse rather than silently drop keys the
+        // baseline would return.
+        let cluster = Cluster::default();
+        let t = test_table(200, 2);
+        let q = DbQuery::HavingSum { key_col: 0, val_col: 1, threshold: -100 };
+        let err = cluster.run_cheetah(&q, &t, None).unwrap_err();
+        assert!(
+            matches!(err, Error::Switch(SwitchError::UnsupportedOp { .. })),
+            "unexpected error: {err:?}"
+        );
+        // The baseline path still answers (its operators are signed).
+        let base = cluster.run_baseline(&q, &t, None);
+        assert!(base.output.cardinality() > 0);
+    }
+
+    #[test]
+    fn zero_threshold_is_still_offloadable() {
+        let cluster = Cluster::default();
+        let t = test_table(500, 2);
+        let q = DbQuery::HavingSum { key_col: 0, val_col: 1, threshold: 0 };
+        let base = cluster.run_baseline(&q, &t, None);
+        let chee = cluster.run_cheetah(&q, &t, None).unwrap();
+        assert_eq!(base.output, chee.output);
     }
 }

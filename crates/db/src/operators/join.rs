@@ -86,7 +86,7 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for JoinOp {
     }
 
     fn encode(&self, src: &Tables<'a>, stream: usize, part: usize, row: usize, out: &mut Vec<u64>) {
-        let p = &src.stream(stream).partitions()[part];
+        let p = &super::stream_table(src, stream).partitions()[part];
         out.push(encode_key(self.seed, &p.column(self.key_col(stream)).get(row)));
     }
 
@@ -98,7 +98,9 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for JoinOp {
                 .iter()
                 .map(|e| {
                     let (pi, r) = e.id();
-                    src.stream(stream).partitions()[pi].column(self.key_col(stream)).get(r)
+                    super::stream_table(src, stream).partitions()[pi]
+                        .column(self.key_col(stream))
+                        .get(r)
                 })
                 .collect()
         };

@@ -57,8 +57,17 @@ pub use join::JoinOp;
 pub use skyline::SkylineOp;
 pub use topn::TopNOp;
 
+use crate::executor::Tables;
+use crate::table::Table;
 use crate::value::{encode_ordered_i64, Value};
 use cheetah_switch::HashFn;
+
+/// The table behind stream `stream`. Operators run only under the generic
+/// executor, which rejects a stream-arity mismatch with a typed error
+/// before any operator code runs — so resolution here cannot fail.
+pub(crate) fn stream_table<'a>(src: &Tables<'a>, stream: usize) -> &'a Table {
+    src.stream(stream).expect("executor validates stream arity before running the operator")
+}
 
 /// Key encoding shared by the operators: ints map order-preservingly;
 /// strings are 63-bit fingerprints (the CWorker cannot ship

@@ -38,7 +38,7 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for TopNOp {
     }
 
     fn encode(&self, src: &Tables<'a>, stream: usize, part: usize, row: usize, out: &mut Vec<u64>) {
-        let p = &src.stream(stream).partitions()[part];
+        let p = &super::stream_table(src, stream).partitions()[part];
         out.push(encode_i64_32(p.column(self.col).as_int().expect("int order col")[row]));
     }
 

@@ -244,6 +244,15 @@ impl TableBuilder {
         }
     }
 
+    /// Close the partition being filled, even mid-way: the rows pushed
+    /// since the last cut become one partition (possibly empty). Lets
+    /// generators build tables with *unequal* partition sizes — skewed
+    /// worker loads — which the fixed `rows_per_partition` cadence cannot
+    /// express.
+    pub fn cut_partition(&mut self) {
+        self.cut();
+    }
+
     fn cut(&mut self) {
         let fresh: Vec<Column> = self
             .fields

@@ -8,57 +8,12 @@
 //! (`cargo test -q -p cheetah-db --test pruning_contract`), so a broken
 //! operator or executor change fails loudly even if nothing else notices.
 
-use cheetah_db::{
-    Cluster, DataType, DbPredicate, DbQuery, IntCmp, LikePattern, Table, TableBuilder, Value,
-};
-use cheetah_switch::hash::mix64;
+mod common;
+
+use common::{all_seven, gen_table};
+
+use cheetah_db::{Cluster, DataType, DbQuery, Table, TableBuilder, Value};
 use proptest::prelude::*;
-
-/// Deterministic random table: `rows` rows, `keys` distinct string keys,
-/// two int columns with ranges derived from the seed.
-fn gen_table(rows: usize, keys: u64, partitions: usize, seed: u64) -> Table {
-    let mut b = TableBuilder::new(
-        "t",
-        vec![
-            ("key".into(), DataType::Str),
-            ("a".into(), DataType::Int),
-            ("b".into(), DataType::Int),
-        ],
-        rows.div_ceil(partitions).max(1),
-    );
-    let mut x = seed | 1;
-    for _ in 0..rows {
-        x = mix64(x);
-        let k = format!("key-{}", x % keys.max(1));
-        x = mix64(x);
-        let a = (x % 10_000) as i64;
-        x = mix64(x);
-        let bb = (x % 500) as i64;
-        b.push_row(vec![Value::Str(k), Value::Int(a), Value::Int(bb)]);
-    }
-    b.build()
-}
-
-/// One query per [`DbQuery`] variant — all seven shapes.
-fn all_seven(threshold: i64) -> Vec<DbQuery> {
-    vec![
-        DbQuery::FilterCount {
-            pred: DbPredicate::Or(vec![
-                DbPredicate::CmpInt { col: 1, op: IntCmp::Gt, lit: 9_000 },
-                DbPredicate::And(vec![
-                    DbPredicate::CmpInt { col: 2, op: IntCmp::Lt, lit: 50 },
-                    DbPredicate::Like { col: 0, pattern: LikePattern::parse("key-1%") },
-                ]),
-            ]),
-        },
-        DbQuery::Distinct { col: 0 },
-        DbQuery::TopN { order_col: 1, n: 17 },
-        DbQuery::GroupByMax { key_col: 0, val_col: 1 },
-        DbQuery::Skyline { cols: vec![1, 2] },
-        DbQuery::HavingSum { key_col: 0, val_col: 1, threshold },
-        DbQuery::Join { left_key: 0, right_key: 0 },
-    ]
-}
 
 /// Run a query on both paths and assert output equality.
 fn assert_contract(cluster: &Cluster, q: &DbQuery, left: &Table, right: Option<&Table>) {

@@ -16,7 +16,10 @@
 //!   rack (`W` workers → switch → master) running any pruning function;
 //! * [`model`] — byte-level transfer accounting for the query engine: the
 //!   serialized entry ([`Encoded`]), its modelled wire size, and the
-//!   phase/transfer breakdown with the Figure 8 completion model.
+//!   phase/transfer breakdown with the Figure 8 completion model;
+//! * [`ingest`] — the Figure 9 master-ingest queueing model, including
+//!   §4.6's shard fan-in (concurrent survivor streams sharing the master
+//!   downlink).
 //!
 //! Not modelled: real sockets/DPDK (everything is simulated time), IP
 //! fragmentation, and congestion control (the paper's channel is a
@@ -26,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod ingest;
 pub mod model;
 pub mod reliability;
 pub mod transfer;
 pub mod wire;
 
 pub use channel::{FaultProfile, Link, LinkOutcome, SimRng, SimTime};
+pub use ingest::MasterIngestModel;
 pub use model::{Encoded, ExecBreakdown, ENTRY_WIRE_BYTES};
 pub use reliability::{MasterFlow, SwitchAction, SwitchFlow, WorkerFlow};
 pub use transfer::{TransferConfig, TransferReport, TransferSim};

@@ -71,7 +71,7 @@ impl PacketEntry for Encoded {
 }
 
 /// Phase timings and transfer volumes of one execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExecBreakdown {
     /// Slowest worker's compute/serialize time (workers run in parallel).
     pub worker_seconds: f64,
@@ -79,12 +79,33 @@ pub struct ExecBreakdown {
     pub master_seconds: f64,
     /// Bytes the busiest worker puts on its link, across all passes.
     pub worker_wire_bytes: u64,
-    /// Bytes arriving at the master's link.
+    /// Bytes arriving at the master's link (summed across shards).
     pub master_wire_bytes: u64,
     /// Entries delivered to the master.
     pub entries_to_master: u64,
     /// Passes over the data.
     pub passes: u8,
+    /// Worker shards that executed this run (1 = unsharded).
+    pub shards: u32,
+    /// Modelled master ingest latency of the survivor streams
+    /// ([`crate::MasterIngestModel`], shard fan-in included). Zero for
+    /// unsharded runs, which measure `master_seconds` directly instead.
+    pub master_ingest_seconds: f64,
+}
+
+impl Default for ExecBreakdown {
+    fn default() -> Self {
+        Self {
+            worker_seconds: 0.0,
+            master_seconds: 0.0,
+            worker_wire_bytes: 0,
+            master_wire_bytes: 0,
+            entries_to_master: 0,
+            passes: 0,
+            shards: 1,
+            master_ingest_seconds: 0.0,
+        }
+    }
 }
 
 impl ExecBreakdown {
@@ -138,9 +159,7 @@ mod tests {
             worker_seconds: 1.0,
             master_seconds: 2.0,
             worker_wire_bytes: 125_000_000, // 1 Gbit
-            master_wire_bytes: 0,
-            entries_to_master: 0,
-            passes: 1,
+            ..ExecBreakdown::default()
         };
         let net = b.network_seconds(10.0);
         assert!((net - 0.1).abs() < 1e-9);

@@ -14,7 +14,9 @@
 //!   simulations feed to individual algorithms (duplicate-controlled,
 //!   random-order, 2-D points, keyed revenues, two-table keys);
 //! * [`zipf`] — a seeded Zipf sampler (no external RNG dependency, so
-//!   every experiment is reproducible from one `u64`).
+//!   every experiment is reproducible from one `u64`);
+//! * [`skew`] — zipf-skewed *partition* generators for the sharded
+//!   execution experiments (unbalanced worker loads, hot keys).
 //!
 //! Everything is deterministic in the seed. The pruning-rate results of
 //! the paper depend on distributional properties (distinct counts, skew,
@@ -25,9 +27,11 @@
 #![warn(missing_docs)]
 
 pub mod bigdata;
+pub mod skew;
 pub mod streams;
 pub mod tpch;
 pub mod zipf;
 
 pub use bigdata::{BigDataConfig, RANKINGS_SCHEMA, USERVISITS_SCHEMA};
+pub use skew::{skewed_partition_sizes, SkewedTableConfig};
 pub use zipf::Zipf;
