@@ -4,8 +4,11 @@
 SMOKE_OUT ?= BENCH_smoke.json
 SMOKE_BASELINE ?= ci/bench_baseline.json
 SMOKE_TOLERANCE ?= 0.2
+# The @planned rows carry a sampling pass and a data-dependent layout,
+# so their wall-clock floor is looser than a pinned spec's.
+SMOKE_PLANNER_TOLERANCE ?= 0.35
 
-.PHONY: build test lint docs bench-compile bench-smoke shard-gate
+.PHONY: build test lint docs bench-compile bench-smoke shard-gate planner-gate
 
 build:
 	cargo build --release
@@ -28,6 +31,12 @@ bench-compile:
 shard-gate:
 	cargo test -q -p cheetah-db --test shard_contract
 
+# The named CI gate: planner contract — planned runs bit-identical to
+# baseline across all seven variants x the adversarial workload family,
+# deterministic plans, fitted-range load within 2x of hash.
+planner-gate:
+	cargo test -q -p cheetah-db --test planner_contract
+
 # The CI perf-smoke invocation, byte for byte: runs the fixed-seed smoke
 # pass, writes $(SMOKE_OUT), and fails on >$(SMOKE_TOLERANCE) regression
 # vs the checked-in baseline.
@@ -35,4 +44,5 @@ bench-smoke:
 	cargo run --release -q -p cheetah-bench --bin cheetah-experiments -- \
 		--smoke-json $(SMOKE_OUT) \
 		--smoke-baseline $(SMOKE_BASELINE) \
-		--smoke-tolerance $(SMOKE_TOLERANCE)
+		--smoke-tolerance $(SMOKE_TOLERANCE) \
+		--smoke-planner-tolerance $(SMOKE_PLANNER_TOLERANCE)

@@ -5,10 +5,11 @@
 //! cheetah-experiments [EXPERIMENT ...] [--full] [--csv DIR]
 //!                     [--shards LIST]
 //!                     [--smoke-json PATH [--smoke-baseline PATH]
-//!                      [--smoke-tolerance FRAC] [--smoke-seed N]]
+//!                      [--smoke-tolerance FRAC]
+//!                      [--smoke-planner-tolerance FRAC] [--smoke-seed N]]
 //!
 //!   EXPERIMENT        one of: table2 table3 fig5 fig6 fig7 fig8 fig9
-//!                     fig10 fig11 fig12_13 ablations shards
+//!                     fig10 fig11 fig12_13 ablations shards planner
 //!                     (default: all)
 //!   --full            paper-scale streams (minutes) instead of quick
 //!   --csv DIR         additionally write one CSV per report into DIR
@@ -19,6 +20,10 @@
 //!   --smoke-baseline  compare the smoke report against this baseline
 //!                     JSON and exit 1 on regression
 //!   --smoke-tolerance allowed fractional regression (default 0.2)
+//!   --smoke-planner-tolerance
+//!                     allowed fractional regression of the `@planned`
+//!                     rows (default 0.35 — planning adds a sampling pass
+//!                     and a data-dependent layout)
 //!   --smoke-seed      workload seed of the smoke pass (default 42)
 //! ```
 
@@ -35,6 +40,7 @@ fn main() {
     let mut smoke_json: Option<String> = None;
     let mut smoke_baseline: Option<String> = None;
     let mut smoke_tolerance = 0.2f64;
+    let mut smoke_planner_tolerance = 0.35f64;
     let mut smoke_seed = 42u64;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
@@ -84,6 +90,16 @@ fn main() {
                 }
                 smoke_tolerance = parsed;
             }
+            "--smoke-planner-tolerance" => {
+                i += 1;
+                let parsed: f64 =
+                    value_of(&args, i, "--smoke-planner-tolerance").parse().unwrap_or(f64::NAN);
+                if !parsed.is_finite() || !(0.0..1.0).contains(&parsed) {
+                    eprintln!("--smoke-planner-tolerance needs a fraction in [0, 1), e.g. 0.35");
+                    std::process::exit(2);
+                }
+                smoke_planner_tolerance = parsed;
+            }
             "--smoke-seed" => {
                 i += 1;
                 smoke_seed = value_of(&args, i, "--smoke-seed").parse().unwrap_or_else(|_| {
@@ -98,7 +114,7 @@ fn main() {
                 );
                 println!(
                     "       cheetah-experiments --smoke-json PATH [--smoke-baseline PATH] \
-                     [--smoke-tolerance FRAC] [--smoke-seed N]"
+                     [--smoke-tolerance FRAC] [--smoke-planner-tolerance FRAC] [--smoke-seed N]"
                 );
                 println!("experiments:");
                 for (id, _) in experiments::all() {
@@ -112,7 +128,13 @@ fn main() {
     }
 
     if let Some(path) = smoke_json {
-        run_smoke_mode(&path, smoke_baseline.as_deref(), smoke_tolerance, smoke_seed);
+        run_smoke_mode(
+            &path,
+            smoke_baseline.as_deref(),
+            smoke_tolerance,
+            smoke_planner_tolerance,
+            smoke_seed,
+        );
         return;
     }
 
@@ -155,7 +177,13 @@ fn main() {
 
 /// The CI perf-smoke path: measure, write JSON, optionally gate against a
 /// baseline. Exit code 1 = regression, 2 = usage/IO error.
-fn run_smoke_mode(out_path: &str, baseline_path: Option<&str>, tolerance: f64, seed: u64) {
+fn run_smoke_mode(
+    out_path: &str,
+    baseline_path: Option<&str>,
+    tolerance: f64,
+    planner_tolerance: f64,
+    seed: u64,
+) {
     eprintln!("running perf smoke (seed {seed})...");
     let report = run_smoke(seed, 6_000, 3);
     let json = report.to_json();
@@ -176,12 +204,13 @@ fn run_smoke_mode(out_path: &str, baseline_path: Option<&str>, tolerance: f64, s
         eprintln!("cannot parse baseline {baseline_path}: {e}");
         std::process::exit(2);
     });
-    let violations = report.regressions_against(&baseline, tolerance);
+    let violations = report.regressions_against_with(&baseline, tolerance, planner_tolerance);
     if violations.is_empty() {
         eprintln!(
-            "perf smoke OK: {} families within {:.0}% of {baseline_path}",
+            "perf smoke OK: {} families within {:.0}% of {baseline_path} ({:.0}% for @planned)",
             report.families.len(),
-            tolerance * 100.0
+            tolerance * 100.0,
+            planner_tolerance * 100.0
         );
     } else {
         eprintln!("perf smoke FAILED vs {baseline_path}:");

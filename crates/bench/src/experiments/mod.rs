@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod planner;
 pub mod shards;
 pub mod table2;
 pub mod table3;
@@ -34,6 +35,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("fig12_13", fig12_13::run),
         ("ablations", ablations::run),
         ("shards", shards::run),
+        ("planner", planner::run),
     ]
 }
 
@@ -46,7 +48,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
         for want in [
             "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12_13", "shards",
+            "fig12_13", "shards", "planner",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

@@ -63,20 +63,18 @@ pub fn run(ctx: &RunCtx) -> Vec<Report> {
             "max_shard_rows",
         ],
     );
+    let planner = ctx.planner();
     for (name, q) in &families {
         let right_of = q.is_binary().then_some(&right);
         let single = cluster.run_cheetah(q, &table, right_of).expect("plan fits");
-        for &n in &ctx.shards {
-            let spec = ShardSpec::new(n, ShardPartitioner::Hash);
-            let sharded =
-                cluster.run_cheetah_sharded(q, &table, right_of, &spec).expect("plan fits");
+        let mut record = |label: String, sharded: &cheetah_db::ShardedRun| {
             assert_eq!(
                 single.output, sharded.output,
-                "shard contract violated for {name} at {n} shards"
+                "shard contract violated for {name} at {label} shards"
             );
             let b = &sharded.breakdown;
             r.row(vec![
-                n.to_string(),
+                label,
                 (*name).to_string(),
                 secs(b.completion_seconds(LINK_GBPS)),
                 secs(b.worker_seconds),
@@ -85,7 +83,18 @@ pub fn run(ctx: &RunCtx) -> Vec<Report> {
                 b.entries_to_master.to_string(),
                 sharded.per_shard.iter().map(|s| s.rows).max().unwrap_or(0).to_string(),
             ]);
+        };
+        for &n in &ctx.shards {
+            let spec = ShardSpec::new(n, ShardPartitioner::Hash);
+            let sharded =
+                cluster.run_cheetah_sharded(q, &table, right_of, &spec).expect("plan fits");
+            record(n.to_string(), &sharded);
         }
+        // The planned comparison row: the planner searches the same
+        // shard range the sweep covers (RunCtx-driven).
+        let planned = cluster.run_cheetah_planned(q, &table, right_of, &planner).expect("fits");
+        let plan = planned.plan.as_ref().expect("planned run records its plan");
+        record(format!("planned:{}@{}", plan.partitioner().name(), plan.shards()), &planned);
     }
     r.note(format!(
         "left {} rows (zipf partition skew 1.0, key skew 1.1); right {} rows; outputs verified \
@@ -106,10 +115,10 @@ mod tests {
     fn sweep_covers_every_family_at_every_shard_count() {
         let ctx = RunCtx { scale: Scale::Quick, shards: vec![1, 4] };
         let r = &run(&ctx)[0];
-        // 4 families × 2 shard counts.
-        assert_eq!(r.rows.len(), 8);
+        // 4 families × (2 shard counts + 1 planned comparison row).
+        assert_eq!(r.rows.len(), 12);
         for row in &r.rows {
-            assert!(row[0] == "1" || row[0] == "4");
+            assert!(row[0] == "1" || row[0] == "4" || row[0].starts_with("planned:"), "{row:?}");
         }
     }
 
@@ -117,7 +126,9 @@ mod tests {
     fn shard_axis_is_honoured() {
         let ctx = RunCtx { scale: Scale::Quick, shards: vec![2] };
         let r = &run(&ctx)[0];
-        assert!(r.rows.iter().all(|row| row[0] == "2"));
+        assert!(r.rows.iter().all(|row| row[0] == "2" || row[0].starts_with("planned:")));
+        // Every family carries exactly one planned row.
+        assert_eq!(r.rows.iter().filter(|row| row[0].starts_with("planned:")).count(), 4);
     }
 
     #[test]

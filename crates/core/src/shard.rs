@@ -48,7 +48,7 @@ impl ShardPartitioner {
 
 /// A concrete `key → shard` function: partitioner kind + shard count +
 /// hash seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Sharder {
     kind: ShardPartitioner,
     shards: usize,
@@ -56,6 +56,10 @@ pub struct Sharder {
     /// Range mode only: the key domain the spans divide.
     lo: u64,
     hi: u64,
+    /// Fitted range mode only: ascending cut points — `boundaries[i]` is
+    /// the first key owned by shard `i + 1`. Empty means equal spans of
+    /// `[lo, hi]`.
+    boundaries: Vec<u64>,
 }
 
 impl Sharder {
@@ -64,7 +68,7 @@ impl Sharder {
     /// keys' bounds are known.
     pub fn new(kind: ShardPartitioner, shards: usize, seed: u64) -> Self {
         assert!(shards > 0, "need at least one shard");
-        Self { kind, shards, seed, lo: 0, hi: u64::MAX }
+        Self { kind, shards, seed, lo: 0, hi: u64::MAX, boundaries: Vec::new() }
     }
 
     /// A range sharder whose `shards` equal spans divide `[lo, hi]`
@@ -75,7 +79,27 @@ impl Sharder {
     pub fn range_over(lo: u64, hi: u64, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         assert!(lo <= hi, "empty key domain");
-        Self { kind: ShardPartitioner::Range, shards, seed: 0, lo, hi }
+        Self { kind: ShardPartitioner::Range, shards, seed: 0, lo, hi, boundaries: Vec::new() }
+    }
+
+    /// A range sharder with *fitted* (data-driven) cut points instead of
+    /// equal spans: `boundaries[i]` is the first key owned by shard
+    /// `i + 1`, so `boundaries.len() + 1` shards cover the whole key
+    /// space. The planner fits these to the sampled quantiles
+    /// ([`fit_boundaries`](crate::plan::fit_boundaries)) so each span
+    /// holds roughly equal *observed mass* — the adaptive answer to
+    /// clustered or skewed key domains. Cut points must be
+    /// non-decreasing; duplicates simply leave spans empty.
+    pub fn fitted_range(boundaries: Vec<u64>) -> Self {
+        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries must be ascending");
+        Self {
+            kind: ShardPartitioner::Range,
+            shards: boundaries.len() + 1,
+            seed: 0,
+            lo: 0,
+            hi: u64::MAX,
+            boundaries,
+        }
     }
 
     /// Number of shards.
@@ -93,6 +117,11 @@ impl Sharder {
     pub fn shard_of(&self, key: u64) -> usize {
         match self.kind {
             ShardPartitioner::Hash => (mix64(key ^ self.seed) % self.shards as u64) as usize,
+            ShardPartitioner::Range if !self.boundaries.is_empty() => {
+                // Fitted cut points: the shard owning `key` is the number
+                // of boundaries at or below it.
+                self.boundaries.partition_point(|&b| b <= key)
+            }
             ShardPartitioner::Range => {
                 let key = key.clamp(self.lo, self.hi);
                 // 128-bit arithmetic: the span can be the full 2⁶⁴ and the
@@ -177,6 +206,43 @@ mod tests {
         assert_eq!(s.shard_of(42), 0);
         assert_eq!(s.shard_of(41), 0);
         assert_eq!(s.shard_of(u64::MAX), 0);
+    }
+
+    #[test]
+    fn fitted_range_routes_by_cut_points() {
+        // Cut points 10, 20, 20, 30 → 5 shards; the duplicated boundary
+        // leaves shard 2 empty (no key satisfies 20 <= k < 20).
+        let s = Sharder::fitted_range(vec![10, 20, 20, 30]);
+        assert_eq!(s.shards(), 5);
+        assert_eq!(s.kind(), ShardPartitioner::Range);
+        assert_eq!(s.shard_of(0), 0);
+        assert_eq!(s.shard_of(9), 0);
+        assert_eq!(s.shard_of(10), 1);
+        assert_eq!(s.shard_of(19), 1);
+        assert_eq!(s.shard_of(20), 3);
+        assert_eq!(s.shard_of(29), 3);
+        assert_eq!(s.shard_of(30), 4);
+        assert_eq!(s.shard_of(u64::MAX), 4);
+        // Monotone in the key, like every range sharder.
+        let mut last = 0;
+        for k in 0..64u64 {
+            let sh = s.shard_of(k);
+            assert!(sh >= last);
+            last = sh;
+        }
+    }
+
+    #[test]
+    fn fitted_range_with_no_boundaries_is_one_shard() {
+        let s = Sharder::fitted_range(Vec::new());
+        assert_eq!(s.shards(), 1);
+        assert_eq!(s.shard_of(u64::MAX), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn fitted_range_rejects_descending_boundaries() {
+        let _ = Sharder::fitted_range(vec![10, 5]);
     }
 
     #[test]

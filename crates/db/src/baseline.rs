@@ -168,6 +168,7 @@ impl Cluster {
                 passes: 1,
                 shards: 1,
                 master_ingest_seconds: 0.0,
+                plan: None,
             },
         }
     }

@@ -122,6 +122,7 @@ impl Cluster {
                 passes,
                 shards: 1,
                 master_ingest_seconds: 0.0,
+                plan: None,
             },
             switch_stats: stats,
             rules: usage.rules,

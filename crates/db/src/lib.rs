@@ -41,6 +41,7 @@ pub mod expr;
 pub mod master;
 pub mod operators;
 pub mod ops;
+pub mod planner;
 pub mod query;
 pub mod sharded;
 pub mod table;
@@ -49,11 +50,13 @@ pub mod value;
 #[cfg(test)]
 mod testutil;
 
+pub use cheetah_core::plan::{PlanDecision, PlanReport, ShardPlan};
 pub use cheetah_core::{ShardPartitioner, Sharder};
 pub use engine::{CheetahRun, CheetahTuning, Cluster, ExecBreakdown, SparkRun};
 pub use executor::Tables;
 pub use expr::{DbPredicate, IntCmp, LikePattern};
 pub use master::{merge_shard_outputs, MasterIngestModel};
+pub use planner::{PlannerConfig, ShardPlanner};
 pub use query::{DbQuery, QueryOutput};
 pub use sharded::{ShardSpec, ShardStats, ShardedRun};
 pub use table::{Column, Partition, Table, TableBuilder};

@@ -1,0 +1,483 @@
+//! The adaptive shard planner: sample the routing keys, estimate skew
+//! and size, emit a concrete [`ShardPlan`].
+//!
+//! The `shards` sweep shows what a fixed spec costs: under key skew a
+//! fixed range partitioner piles the hot keys onto one shard and the
+//! whole run serializes behind it, while a fixed shard count either
+//! wastes workers on small inputs or starves large ones. The planner
+//! replaces both hand-picked choices with one sampling pass over the
+//! per-query routing keys (the same keys [`Cluster::run_cheetah_sharded`]
+//! routes by — key extraction lives *here*, in one place, and the sharded
+//! layer consumes it):
+//!
+//! 1. **Sample** — a seeded reservoir ([`KeySampler`]) over every
+//!    stream's routing keys, plus a KMV distinct sketch and the top-key
+//!    mass.
+//! 2. **Choose the shard count** — walk the
+//!    [`MasterIngestModel::planning_latency`] fan-in curve: each
+//!    candidate count is charged the hottest shard's share of the rows
+//!    at the CWorker send rate (worker phase) plus the modelled
+//!    survivor-stream ingest and per-shard merge overhead (master
+//!    phase); stop adding shards where the modelled merge cost eats the
+//!    pruning win.
+//! 3. **Choose the partitioner** — fit range boundaries to the sampled
+//!    quantiles; keep them when the fitted plan's max sampled shard load
+//!    stays within [`PlannerConfig::range_load_factor`] (default 2×) of
+//!    hash on the same sample, fall back to hash when skew concentrates.
+//!
+//! The emitted [`PlanReport`] records
+//! every estimate and modelled cost the decision read, so tests and
+//! humans audit the choice instead of trusting it. Plans are
+//! deterministic: same seed + same tables ⇒ identical [`ShardPlan`].
+
+use crate::engine::Cluster;
+use crate::operators::encode_key;
+use crate::query::DbQuery;
+use crate::sharded::{ShardSpec, ShardedRun};
+use crate::table::{Partition, Table};
+use crate::value::encode_ordered_i64;
+use cheetah_core::plan::{
+    fit_boundaries, max_load_fraction, KeySampler, PlanDecision, PlanReport, ShardCostPoint,
+    ShardPlan,
+};
+use cheetah_core::{ShardPartitioner, Sharder};
+use cheetah_net::MasterIngestModel;
+use cheetah_switch::hash::mix64;
+
+/// Tuning of the sample-driven shard planner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerConfig {
+    /// Reservoir capacity: how many routing keys the quantile fit and
+    /// the load evaluation see.
+    pub sample_size: usize,
+    /// Largest worker count the fan-in walk considers.
+    pub max_shards: usize,
+    /// Fitted range is kept while its max sampled shard load stays
+    /// within this factor of hash's on the same sample (the planner
+    /// contract's 2× bound).
+    pub range_load_factor: f64,
+    /// Fixed per-shard master-side cost (planning one switch program,
+    /// merging one more output) charged by the shard-count model.
+    pub per_shard_overhead_seconds: f64,
+    /// Ingest model queried for the fan-in curve and applied to the
+    /// planned run's survivor streams.
+    pub ingest: MasterIngestModel,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            sample_size: 1024,
+            max_shards: 16,
+            range_load_factor: 2.0,
+            per_shard_overhead_seconds: 300e-6,
+            ingest: MasterIngestModel::default_rack(),
+        }
+    }
+}
+
+/// The sample-driven shard planner.
+///
+/// # Worked example
+///
+/// A skewed table: 4000 rows, 90 % of them under ten hot keys. The
+/// planner samples the GROUP BY routing keys, reads the skew, and picks
+/// a concrete plan whose report explains the choice:
+///
+/// ```
+/// use cheetah_db::{Cluster, DataType, DbQuery, ShardPlanner, TableBuilder, Value};
+///
+/// let mut b = TableBuilder::new(
+///     "visits",
+///     vec![("agent".into(), DataType::Str), ("ms".into(), DataType::Int)],
+///     500,
+/// );
+/// for i in 0..4000i64 {
+///     let agent = if i % 10 < 9 { format!("hot-{}", i % 10) } else { format!("cold-{i}") };
+///     b.push_row(vec![Value::Str(agent), Value::Int(i % 997)]);
+/// }
+/// let table = b.build();
+///
+/// let cluster = Cluster::default();
+/// let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+/// let planner = ShardPlanner::default();
+/// let plan = planner.plan(&q, &table, None, cluster.tuning.seed);
+///
+/// // The report carries every estimate the decision read…
+/// assert_eq!(plan.report.rows, 4000);
+/// assert!(plan.report.distinct_estimate > 10.0);
+/// assert!(plan.shards() >= 1 && plan.shards() <= 16);
+/// println!("{}", plan.report.reason);
+///
+/// // …and the planned run completes bit-identically to the baseline.
+/// let base = cluster.run_baseline(&q, &table, None);
+/// let planned = cluster.run_cheetah_planned(&q, &table, None, &planner).unwrap();
+/// assert_eq!(base.output, planned.output);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShardPlanner {
+    /// The planner's tuning.
+    pub cfg: PlannerConfig,
+}
+
+impl ShardPlanner {
+    /// A planner with the given tuning.
+    pub fn new(cfg: PlannerConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Plan the sharded execution of `q` over the given tables: sample
+    /// the per-query routing keys of every stream and emit the plan.
+    pub fn plan(&self, q: &DbQuery, left: &Table, right: Option<&Table>, seed: u64) -> ShardPlan {
+        let left_keys = routing_keys(q, 0, left, seed);
+        let right_keys = right.map(|r| routing_keys(q, 1, r, seed));
+        let slices: Vec<&[u64]> =
+            std::iter::once(left_keys.as_slice()).chain(right_keys.as_deref()).collect();
+        self.plan_from_keys(&slices, seed)
+    }
+
+    /// Plan from precomputed routing-key streams (what
+    /// [`Cluster::run_cheetah_planned`] uses so the keys are extracted
+    /// once for sampling *and* routing).
+    pub(crate) fn plan_from_keys(&self, key_slices: &[&[u64]], seed: u64) -> ShardPlan {
+        let mut sampler = KeySampler::new(self.cfg.sample_size, seed);
+        for &stream in key_slices {
+            for &k in stream {
+                sampler.offer(k);
+            }
+        }
+        let stats = sampler.finish();
+
+        if stats.rows == 0 {
+            return self.trivial_plan(stats, seed, "empty input: any routing is vacuous");
+        }
+        if stats.all_keys_equal() {
+            // Key-aligned routing pins a single key to one shard; extra
+            // workers would only idle and add merge overhead.
+            return self.trivial_plan(
+                stats,
+                seed,
+                "all sampled routing keys are equal: no partitioner can spread them",
+            );
+        }
+
+        // Survivor-volume proxy for the merge model: roughly one survivor
+        // per distinct routing key (keyed queries forward per-key
+        // champions; scans route by unique row-id hashes, making this
+        // `rows` — conservatively assuming nothing is pruned).
+        let survivors = (stats.distinct_estimate.round() as u64).clamp(1, stats.rows);
+
+        // Walk the fan-in curve: per candidate count, the hottest shard's
+        // share of the rows at the CWorker send rate, plus modelled
+        // ingest and per-shard merge overhead.
+        let mut curve = Vec::with_capacity(self.cfg.max_shards);
+        let mut per_count = Vec::with_capacity(self.cfg.max_shards);
+        for n in 1..=self.cfg.max_shards.max(1) {
+            let choice = self.partitioner_at(&stats.sample, n, seed);
+            let worker_seconds =
+                stats.rows as f64 * choice.load / self.cfg.ingest.arrival_rate.max(1.0);
+            let merge_seconds = self.cfg.ingest.planning_latency(n, survivors)
+                + n as f64 * self.cfg.per_shard_overhead_seconds;
+            curve.push(ShardCostPoint { shards: n, worker_seconds, merge_seconds });
+            per_count.push(choice);
+        }
+        let best = curve
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total().partial_cmp(&b.total()).expect("finite costs"))
+            .map(|(i, _)| i)
+            .expect("at least one candidate");
+        let chosen = per_count.swap_remove(best);
+        let shards = best + 1;
+
+        // The first candidate *past the chosen count* whose modelled
+        // completion rises again — where merge cost starts eating the
+        // pruning win (absent when the chosen count is the axis maximum).
+        let turn =
+            curve[best + 1..].iter().find(|p| p.total() > curve[best].total()).map(|p| p.shards);
+        let reason = format!(
+            "chose {} × {}: sampled {}/{} keys, ~{:.0} distinct, top-key mass {:.2}; \
+             fitted-range sample load {:.2} vs hash {:.2} (factor {}); modelled completion \
+             {:.2} ms{}",
+            shards,
+            chosen.partitioner.name(),
+            stats.sample.len(),
+            stats.rows,
+            stats.distinct_estimate,
+            stats.top_key_mass,
+            chosen.range_load,
+            chosen.hash_load,
+            self.cfg.range_load_factor,
+            curve[best].total() * 1e3,
+            match turn {
+                Some(n) => format!(", merge cost eats the win from {n} shards on"),
+                None => String::new(),
+            },
+        );
+        ShardPlan {
+            sharder: chosen.sharder,
+            report: PlanReport {
+                rows: stats.rows,
+                sample_len: stats.sample.len(),
+                distinct_estimate: stats.distinct_estimate,
+                top_key_mass: stats.top_key_mass,
+                shards,
+                partitioner: chosen.partitioner,
+                hash_sample_load: chosen.hash_load,
+                range_sample_load: chosen.range_load,
+                curve,
+                reason,
+            },
+        }
+    }
+
+    /// The adaptive partitioner choice at a candidate shard count: fitted
+    /// range when the sampled quantiles spread the load, hash when skew
+    /// concentrates it.
+    fn partitioner_at(&self, sample: &[u64], shards: usize, seed: u64) -> PartitionerChoice {
+        let hash = Sharder::new(ShardPartitioner::Hash, shards, seed);
+        let hash_load = max_load_fraction(sample, &hash);
+        let fitted = Sharder::fitted_range(fit_boundaries(sample, shards));
+        let range_load = max_load_fraction(sample, &fitted);
+        if range_load <= self.cfg.range_load_factor * hash_load {
+            PartitionerChoice {
+                partitioner: ShardPartitioner::Range,
+                load: range_load,
+                hash_load,
+                range_load,
+                sharder: fitted,
+            }
+        } else {
+            PartitionerChoice {
+                partitioner: ShardPartitioner::Hash,
+                load: hash_load,
+                hash_load,
+                range_load,
+                sharder: hash,
+            }
+        }
+    }
+
+    /// The degenerate one-shard plan (empty input, single key).
+    fn trivial_plan(&self, stats: cheetah_core::plan::KeyStats, seed: u64, why: &str) -> ShardPlan {
+        let worker_seconds = stats.rows as f64 / self.cfg.ingest.arrival_rate.max(1.0);
+        let merge_seconds =
+            self.cfg.ingest.planning_latency(1, stats.rows.min(stats.distinct_estimate as u64))
+                + self.cfg.per_shard_overhead_seconds;
+        ShardPlan {
+            sharder: Sharder::new(ShardPartitioner::Hash, 1, seed),
+            report: PlanReport {
+                rows: stats.rows,
+                sample_len: stats.sample.len(),
+                distinct_estimate: stats.distinct_estimate,
+                top_key_mass: stats.top_key_mass,
+                shards: 1,
+                partitioner: ShardPartitioner::Hash,
+                hash_sample_load: 1.0,
+                range_sample_load: 1.0,
+                curve: vec![ShardCostPoint { shards: 1, worker_seconds, merge_seconds }],
+                reason: format!("chose 1 shard: {why}"),
+            },
+        }
+    }
+}
+
+struct PartitionerChoice {
+    partitioner: ShardPartitioner,
+    load: f64,
+    hash_load: f64,
+    range_load: f64,
+    sharder: Sharder,
+}
+
+// ---------------------------------------------------------------------
+// Routing-key extraction: the one home for "which key does this row
+// route by" (the sharded layer and the planner both consume it).
+// ---------------------------------------------------------------------
+
+/// The routing key of row `row` of `part` for query `q` on `stream`.
+///
+/// Keyed queries route by their group/join key so each key lives on one
+/// shard (exact key-union and co-partitioned-join merges); TOP N routes by
+/// the order column (order-preserving encoding, so range sharding splits
+/// the value space); scans and skylines route by a row-id hash (pure load
+/// balance — their merges are routing-agnostic).
+fn route_key(
+    q: &DbQuery,
+    seed: u64,
+    stream: usize,
+    part: &Partition,
+    row: usize,
+    global_row: u64,
+) -> u64 {
+    match q {
+        DbQuery::FilterCount { .. } | DbQuery::Skyline { .. } => mix64(global_row ^ seed),
+        DbQuery::Distinct { col } => encode_key(seed, &part.column(*col).get(row)),
+        DbQuery::TopN { order_col, .. } => {
+            encode_ordered_i64(part.column(*order_col).as_int().expect("int order col")[row])
+        }
+        DbQuery::GroupByMax { key_col, .. } | DbQuery::HavingSum { key_col, .. } => {
+            encode_key(seed, &part.column(*key_col).get(row))
+        }
+        DbQuery::Join { left_key, right_key } => {
+            let col = if stream == 0 { *left_key } else { *right_key };
+            encode_key(seed, &part.column(col).get(row))
+        }
+    }
+}
+
+/// Every row's routing key for stream `stream`, in row order.
+pub(crate) fn routing_keys(q: &DbQuery, stream: usize, table: &Table, seed: u64) -> Vec<u64> {
+    let mut keys = Vec::with_capacity(table.rows());
+    let mut global_row = 0u64;
+    for p in table.partitions() {
+        for r in 0..p.rows() {
+            keys.push(route_key(q, seed, stream, p, r, global_row));
+            global_row += 1;
+        }
+    }
+    keys
+}
+
+/// The sharder of a *hand-picked* [`ShardSpec`]. Hash scatters over the
+/// seed; Range fits its equal spans to the *observed* key bounds across
+/// **both** streams — jointly, because JOIN co-partitioning needs one set
+/// of boundaries for the two sides — so real key domains (string
+/// fingerprints fill only the lower 2⁶³; encoded small ints cluster
+/// around 2⁶³) split into populated spans instead of piling onto one
+/// shard. (The planner's *fitted* range plan goes further and cuts at the
+/// sampled quantiles.)
+pub(crate) fn fixed_sharder(spec: &ShardSpec, seed: u64, keys: &[&[u64]]) -> Sharder {
+    match spec.partitioner {
+        ShardPartitioner::Hash => Sharder::new(ShardPartitioner::Hash, spec.shards, seed),
+        ShardPartitioner::Range => {
+            let mut bounds: Option<(u64, u64)> = None;
+            for &k in keys.iter().flat_map(|s| s.iter()) {
+                bounds = Some(match bounds {
+                    None => (k, k),
+                    Some((lo, hi)) => (lo.min(k), hi.max(k)),
+                });
+            }
+            match bounds {
+                Some((lo, hi)) => Sharder::range_over(lo, hi, spec.shards),
+                // No rows anywhere: any total routing works.
+                None => Sharder::new(ShardPartitioner::Range, spec.shards, seed),
+            }
+        }
+    }
+}
+
+impl Cluster {
+    /// Execute `q` sharded under a *planner-chosen* layout: sample the
+    /// routing keys, pick the shard count from the ingest-model fan-in
+    /// curve and the partitioner from the sampled skew, then run exactly
+    /// like [`run_cheetah_sharded`](Cluster::run_cheetah_sharded). The
+    /// returned run carries the [`ShardPlan`] (and
+    /// `breakdown.plan = Some(PlanDecision::Planned(..))`).
+    ///
+    /// Output equals the baseline's and the unsharded run's for every
+    /// query shape — the planner changes *where* rows go, never *what*
+    /// the query answers.
+    pub fn run_cheetah_planned(
+        &self,
+        q: &DbQuery,
+        left: &Table,
+        right: Option<&Table>,
+        planner: &ShardPlanner,
+    ) -> cheetah_core::Result<ShardedRun> {
+        let seed = self.tuning.seed;
+        let left_keys = routing_keys(q, 0, left, seed);
+        let right_keys = right.map(|r| routing_keys(q, 1, r, seed));
+        let slices: Vec<&[u64]> =
+            std::iter::once(left_keys.as_slice()).chain(right_keys.as_deref()).collect();
+        let plan = planner.plan_from_keys(&slices, seed);
+        let sharder = plan.sharder.clone();
+        let decision = PlanDecision::Planned(plan.report.partitioner);
+        self.run_routed(
+            q,
+            left,
+            right,
+            &left_keys,
+            right_keys.as_deref(),
+            &sharder,
+            &planner.cfg.ingest,
+            decision,
+            Some(plan),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_table;
+
+    #[test]
+    fn plans_are_deterministic_in_seed_and_data() {
+        let t = test_table(3_000, 4);
+        let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+        let planner = ShardPlanner::default();
+        let a = planner.plan(&q, &t, None, 0xC43E7A);
+        let b = planner.plan(&q, &t, None, 0xC43E7A);
+        assert_eq!(a, b, "same seed + same tables must give the identical plan");
+        let c = planner.plan(&q, &t, None, 0xC43E7A ^ 1);
+        assert_eq!(c.report.rows, a.report.rows, "size estimates are seed-independent");
+    }
+
+    #[test]
+    fn empty_table_plans_one_shard() {
+        let t = crate::table::TableBuilder::new(
+            "empty",
+            vec![("agent".into(), crate::value::DataType::Str)],
+            8,
+        )
+        .build();
+        let planner = ShardPlanner::default();
+        let plan = planner.plan(&DbQuery::Distinct { col: 0 }, &t, None, 7);
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.report.rows, 0);
+        assert!(plan.report.reason.contains("empty"), "{}", plan.report.reason);
+    }
+
+    #[test]
+    fn table_smaller_than_the_sample_is_sampled_exactly() {
+        let t = test_table(50, 1);
+        let planner = ShardPlanner::default();
+        let plan = planner.plan(&DbQuery::Distinct { col: 0 }, &t, None, 7);
+        assert_eq!(plan.report.rows, 50);
+        assert_eq!(plan.report.sample_len, 50, "reservoir must hold every key");
+    }
+
+    #[test]
+    fn spread_keys_pick_more_than_one_shard_and_a_range_fit() {
+        // TOP N routes by the (spread) order column; the fitted quantile
+        // plan balances it, so the planner keeps range and fans out.
+        let t = test_table(20_000, 4);
+        let planner = ShardPlanner::default();
+        let plan = planner.plan(&DbQuery::TopN { order_col: 1, n: 10 }, &t, None, 3);
+        assert!(plan.shards() > 1, "{}", plan.report.reason);
+        assert!(
+            plan.report.range_sample_load
+                <= planner.cfg.range_load_factor * plan.report.hash_sample_load,
+            "kept range must respect the load bound: {:?}",
+            plan.report
+        );
+        assert_eq!(plan.report.curve.len(), planner.cfg.max_shards);
+    }
+
+    #[test]
+    fn planned_run_matches_fixed_sharded_output() {
+        let cluster = Cluster::default();
+        let t = test_table(2_000, 3);
+        let q = DbQuery::Distinct { col: 0 };
+        let fixed = cluster
+            .run_cheetah_sharded(&q, &t, None, &ShardSpec::new(4, ShardPartitioner::Hash))
+            .unwrap();
+        let planned = cluster.run_cheetah_planned(&q, &t, None, &ShardPlanner::default()).unwrap();
+        assert_eq!(fixed.output, planned.output);
+        let plan = planned.plan.as_ref().expect("planned run records its plan");
+        assert_eq!(planned.breakdown.shards as usize, plan.shards());
+        assert!(planned.breakdown.plan.expect("decision recorded").is_planned());
+        assert!(fixed.plan.is_none(), "fixed runs carry no plan");
+    }
+}

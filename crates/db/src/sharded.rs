@@ -27,13 +27,12 @@
 
 use crate::engine::{CheetahRun, Cluster};
 use crate::master::merge_shard_outputs;
-use crate::operators::encode_key;
+use crate::planner::{fixed_sharder, routing_keys};
 use crate::query::{DbQuery, QueryOutput};
-use crate::table::{Partition, Table, TableBuilder};
-use crate::value::encode_ordered_i64;
+use crate::table::{Table, TableBuilder};
+use cheetah_core::plan::{PlanDecision, ShardPlan};
 use cheetah_core::{ShardPartitioner, Sharder};
 use cheetah_net::{ExecBreakdown, MasterIngestModel};
-use cheetah_switch::hash::mix64;
 use cheetah_switch::ProgramStats;
 use std::time::Instant;
 
@@ -100,76 +99,9 @@ pub struct ShardedRun {
     pub merge_seconds: f64,
     /// Control-plane rules of the largest shard program.
     pub rules: usize,
-}
-
-/// The routing key of row `row` of `part` for query `q` on `stream`.
-///
-/// Keyed queries route by their group/join key so each key lives on one
-/// shard (exact key-union and co-partitioned-join merges); TOP N routes by
-/// the order column (order-preserving encoding, so range sharding splits
-/// the value space); scans and skylines route by a row-id hash (pure load
-/// balance — their merges are routing-agnostic).
-fn route_key(
-    q: &DbQuery,
-    seed: u64,
-    stream: usize,
-    part: &Partition,
-    row: usize,
-    global_row: u64,
-) -> u64 {
-    match q {
-        DbQuery::FilterCount { .. } | DbQuery::Skyline { .. } => mix64(global_row ^ seed),
-        DbQuery::Distinct { col } => encode_key(seed, &part.column(*col).get(row)),
-        DbQuery::TopN { order_col, .. } => {
-            encode_ordered_i64(part.column(*order_col).as_int().expect("int order col")[row])
-        }
-        DbQuery::GroupByMax { key_col, .. } | DbQuery::HavingSum { key_col, .. } => {
-            encode_key(seed, &part.column(*key_col).get(row))
-        }
-        DbQuery::Join { left_key, right_key } => {
-            let col = if stream == 0 { *left_key } else { *right_key };
-            encode_key(seed, &part.column(col).get(row))
-        }
-    }
-}
-
-/// Every row's routing key for stream `stream`, in row order.
-fn routing_keys(q: &DbQuery, stream: usize, table: &Table, seed: u64) -> Vec<u64> {
-    let mut keys = Vec::with_capacity(table.rows());
-    let mut global_row = 0u64;
-    for p in table.partitions() {
-        for r in 0..p.rows() {
-            keys.push(route_key(q, seed, stream, p, r, global_row));
-            global_row += 1;
-        }
-    }
-    keys
-}
-
-/// The sharder for this run. Hash scatters over the seed; Range fits its
-/// spans to the *observed* key bounds across **both** streams — jointly,
-/// because JOIN co-partitioning needs one set of boundaries for the two
-/// sides — so real key domains (string fingerprints fill only the lower
-/// 2⁶³; encoded small ints cluster around 2⁶³) split into populated
-/// spans instead of piling onto one shard.
-fn sharder_for(spec: &ShardSpec, seed: u64, keys: &[&[u64]]) -> Sharder {
-    match spec.partitioner {
-        ShardPartitioner::Hash => Sharder::new(ShardPartitioner::Hash, spec.shards, seed),
-        ShardPartitioner::Range => {
-            let mut bounds: Option<(u64, u64)> = None;
-            for &k in keys.iter().flat_map(|s| s.iter()) {
-                bounds = Some(match bounds {
-                    None => (k, k),
-                    Some((lo, hi)) => (lo.min(k), hi.max(k)),
-                });
-            }
-            match bounds {
-                Some((lo, hi)) => Sharder::range_over(lo, hi, spec.shards),
-                // No rows anywhere: any total routing works.
-                None => Sharder::new(ShardPartitioner::Range, spec.shards, seed),
-            }
-        }
-    }
+    /// The planner's plan, when this run came through
+    /// [`Cluster::run_cheetah_planned`]; `None` for hand-picked specs.
+    pub plan: Option<ShardPlan>,
 }
 
 /// Split `table` into `sharder.shards()` single-partition shard tables by
@@ -209,15 +141,45 @@ impl Cluster {
         let right_keys = right.map(|r| routing_keys(q, 1, r, seed));
         let key_slices: Vec<&[u64]> =
             std::iter::once(left_keys.as_slice()).chain(right_keys.as_deref()).collect();
-        let sharder = sharder_for(spec, seed, &key_slices);
-        let left_shards = split_stream(left, &left_keys, &sharder);
+        let sharder = fixed_sharder(spec, seed, &key_slices);
+        self.run_routed(
+            q,
+            left,
+            right,
+            &left_keys,
+            right_keys.as_deref(),
+            &sharder,
+            &spec.ingest,
+            PlanDecision::Fixed(spec.partitioner),
+            None,
+        )
+    }
+
+    /// The shared sharded dataflow behind both the fixed-spec and the
+    /// planned entry points: split by precomputed routing keys, run the
+    /// generic executor per shard, merge at the master, account.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_routed(
+        &self,
+        q: &DbQuery,
+        left: &Table,
+        right: Option<&Table>,
+        left_keys: &[u64],
+        right_keys: Option<&[u64]>,
+        sharder: &Sharder,
+        ingest: &MasterIngestModel,
+        decision: PlanDecision,
+        plan: Option<ShardPlan>,
+    ) -> cheetah_core::Result<ShardedRun> {
+        let shards = sharder.shards();
+        let left_shards = split_stream(left, left_keys, sharder);
         let right_shards =
-            right.map(|r| split_stream(r, right_keys.as_ref().expect("keys computed"), &sharder));
+            right.map(|r| split_stream(r, right_keys.expect("keys computed"), sharder));
 
         // One scoped worker per shard; each runs the unchanged generic
         // executor over its slice, planning its own Pipeline instance.
         let results: Vec<cheetah_core::Result<CheetahRun>> = std::thread::scope(|sc| {
-            let handles: Vec<_> = (0..spec.shards)
+            let handles: Vec<_> = (0..shards)
                 .map(|s| {
                     let l = &left_shards[s];
                     let r = right_shards.as_ref().map(|v| &v[s]);
@@ -270,10 +232,11 @@ impl Cluster {
             master_wire_bytes: per_shard.iter().map(|s| s.master_wire_bytes).sum(),
             entries_to_master: entries_per_shard.iter().sum(),
             passes,
-            shards: spec.shards as u32,
-            master_ingest_seconds: spec.ingest.blocking_latency_sharded(&entries_per_shard),
+            shards: shards as u32,
+            master_ingest_seconds: ingest.blocking_latency_sharded(&entries_per_shard),
+            plan: Some(decision),
         };
-        Ok(ShardedRun { output, breakdown, switch_stats, per_shard, merge_seconds, rules })
+        Ok(ShardedRun { output, breakdown, switch_stats, per_shard, merge_seconds, rules, plan })
     }
 }
 

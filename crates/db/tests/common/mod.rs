@@ -8,6 +8,9 @@ use cheetah_switch::hash::mix64;
 
 /// Deterministic random table: `rows` rows, `keys` distinct string keys,
 /// two int columns with ranges derived from the seed.
+// Each integration test compiles `common` separately; the planner gate
+// uses only `all_seven` (its tables come from the adversarial family).
+#[allow(dead_code)]
 pub fn gen_table(rows: usize, keys: u64, partitions: usize, seed: u64) -> Table {
     let mut b = TableBuilder::new(
         "t",

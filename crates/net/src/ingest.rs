@@ -107,6 +107,16 @@ impl MasterIngestModel {
         let active = per_shard_entries.iter().filter(|&&e| e > 0).count();
         self.with_shards(active.max(1)).blocking_latency(total)
     }
+
+    /// The shard planner's cost query: the modelled master latency of
+    /// ingesting `entries` survivors streamed concurrently by `shards`
+    /// workers. This is the fan-in curve the planner walks to decide
+    /// where adding a worker stops paying — the point where the raised
+    /// aggregate arrival rate only piles up master backlog (§4.6) is
+    /// where the modelled merge cost starts eating the pruning win.
+    pub fn planning_latency(&self, shards: usize, entries: u64) -> f64 {
+        self.with_shards(shards.max(1)).blocking_latency(entries)
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +201,31 @@ mod tests {
         let t_cap = at_cap.blocking_latency(4_000_000);
         assert!((t_over - t_cap).abs() < 1e-9, "over={t_over}, cap={t_cap}");
         assert!(t_over > 4_000_000.0 / 80e6, "must be slower than the uncapped arrival time");
+    }
+
+    #[test]
+    fn planning_latency_matches_the_sharded_fan_in_model() {
+        // The planner's cost query is exactly the fan-in latency a
+        // balanced run of the same shape would be charged.
+        let m = model(1e6);
+        assert!(
+            (m.planning_latency(4, 4_000_000) - m.blocking_latency_sharded(&[1_000_000; 4])).abs()
+                < 1e-12
+        );
+        assert_eq!(m.planning_latency(8, 0), 0.0);
+        // Zero shards clamps to one instead of dividing by nothing.
+        assert!((m.planning_latency(0, 1_000) - m.planning_latency(1, 1_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planning_latency_shows_a_fan_in_turn_for_a_slow_master() {
+        // A service-bound master gains nothing from fan-in: more shards
+        // never make the modelled merge faster, which is what stops the
+        // planner from adding workers indefinitely.
+        let slow = model(4e5);
+        let one = slow.planning_latency(1, 2_000_000);
+        let eight = slow.planning_latency(8, 2_000_000);
+        assert!(eight >= one * 0.95, "one={one}, eight={eight}");
     }
 
     #[test]

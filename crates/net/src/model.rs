@@ -12,7 +12,7 @@
 //! * [`ExecBreakdown`] — per-phase timings and byte counts of one
 //!   execution, with the link-rate completion model of Figure 8.
 
-use cheetah_core::{Error, PacketEntry};
+use cheetah_core::{Error, PacketEntry, PlanDecision};
 use serde::{Deserialize, Serialize};
 
 /// Wire size of one Cheetah entry-packet (Ethernet + IP + UDP + Cheetah
@@ -91,6 +91,11 @@ pub struct ExecBreakdown {
     /// ([`crate::MasterIngestModel`], shard fan-in included). Zero for
     /// unsharded runs, which measure `master_seconds` directly instead.
     pub master_ingest_seconds: f64,
+    /// How this run's sharding layout was decided: `None` for unsharded
+    /// runs, `Fixed` for a hand-picked `ShardSpec`, `Planned` when the
+    /// sample-driven shard planner chose it — so every recorded
+    /// measurement says which planning path produced it.
+    pub plan: Option<PlanDecision>,
 }
 
 impl Default for ExecBreakdown {
@@ -104,6 +109,7 @@ impl Default for ExecBreakdown {
             passes: 0,
             shards: 1,
             master_ingest_seconds: 0.0,
+            plan: None,
         }
     }
 }

@@ -33,5 +33,5 @@ pub mod tpch;
 pub mod zipf;
 
 pub use bigdata::{BigDataConfig, RANKINGS_SCHEMA, USERVISITS_SCHEMA};
-pub use skew::{skewed_partition_sizes, SkewedTableConfig};
+pub use skew::{skewed_partition_sizes, PlannerAdversary, SkewedTableConfig};
 pub use zipf::Zipf;

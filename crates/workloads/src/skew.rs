@@ -8,13 +8,16 @@
 //! that accelerator frameworks must be evaluated under partitioned,
 //! multi-worker load).
 //!
-//! Two generators, both deterministic in the seed:
+//! Three generators, all deterministic in the seed:
 //!
 //! * [`skewed_partition_sizes`] — split a row budget over `parts`
 //!   partitions with Zipf(s)-distributed sizes;
 //! * [`SkewedTableConfig`] — a complete table whose *partition sizes* are
 //!   zipf-skewed and whose key column is itself zipf-distributed, so both
-//!   shard-load skew and key skew are exercised at once.
+//!   shard-load skew and key skew are exercised at once;
+//! * [`PlannerAdversary`] — the named key-distribution family
+//!   (uniform / zipf(1.0) / zipf(1.5) / single-hot-key) the shard
+//!   planner's contract suite sweeps.
 
 use crate::zipf::Zipf;
 use cheetah_db::{DataType, Table, TableBuilder, Value};
@@ -106,6 +109,61 @@ impl SkewedTableConfig {
     }
 }
 
+/// The planner-adversarial workload family: key distributions chosen to
+/// stress each of the shard planner's decision rules. All four share the
+/// [`SkewedTableConfig`] schema (`key: Str, value: Int, weight: Int`) so
+/// any query of the contract suites runs over any of them.
+///
+/// * [`Uniform`](PlannerAdversary::Uniform) — flat keys: the planner
+///   should fan out and a fitted range plan should balance;
+/// * [`Zipf`](PlannerAdversary::Zipf) — tunable head mass: `1.0` is the
+///   classic web skew, `1.5` concentrates hard enough that naive range
+///   routing serializes;
+/// * [`SingleHotKey`](PlannerAdversary::SingleHotKey) — one key holds
+///   every row: key-aligned routing cannot spread it, so the planner must
+///   collapse to one shard for keyed queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlannerAdversary {
+    /// Uniform keys (zipf exponent 0).
+    Uniform,
+    /// Zipf-distributed keys with the given exponent.
+    Zipf(f64),
+    /// Every row carries the same key.
+    SingleHotKey,
+}
+
+impl PlannerAdversary {
+    /// The four-member family the planner contract suite sweeps.
+    pub fn all() -> [PlannerAdversary; 4] {
+        [
+            PlannerAdversary::Uniform,
+            PlannerAdversary::Zipf(1.0),
+            PlannerAdversary::Zipf(1.5),
+            PlannerAdversary::SingleHotKey,
+        ]
+    }
+
+    /// Short name for reports and assertion messages.
+    pub fn name(&self) -> String {
+        match self {
+            PlannerAdversary::Uniform => "uniform".into(),
+            PlannerAdversary::Zipf(s) => format!("zipf({s})"),
+            PlannerAdversary::SingleHotKey => "single-hot-key".into(),
+        }
+    }
+
+    /// Build the adversarial table: `rows` rows over `partitions`
+    /// mildly-skewed worker partitions, keys per the family.
+    pub fn table(&self, rows: usize, partitions: usize, seed: u64) -> Table {
+        let (keys, key_skew) = match self {
+            PlannerAdversary::Uniform => (200.max(rows / 20).min(2_000), 0.0),
+            PlannerAdversary::Zipf(s) => (200.max(rows / 20).min(2_000), *s),
+            PlannerAdversary::SingleHotKey => (1, 0.0),
+        };
+        SkewedTableConfig { rows, partitions, partition_skew: 0.5, keys, key_skew, seed }.build()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +205,52 @@ mod tests {
     fn generation_is_deterministic_in_the_seed() {
         let cfg = SkewedTableConfig { rows: 1_000, ..Default::default() };
         assert_eq!(cfg.build(), cfg.build());
+    }
+
+    #[test]
+    fn adversary_family_covers_the_planner_grid() {
+        let fam = PlannerAdversary::all();
+        assert_eq!(fam.len(), 4);
+        assert_eq!(fam[1].name(), "zipf(1)");
+        for adv in fam {
+            let t = adv.table(1_200, 3, 9);
+            assert_eq!(t.rows(), 1_200, "{}", adv.name());
+            assert_eq!(t.partitions().len(), 3);
+            // Same build is the same table — the determinism the
+            // planner's regression tests lean on.
+            assert_eq!(t, adv.table(1_200, 3, 9));
+        }
+    }
+
+    #[test]
+    fn single_hot_key_really_is_single() {
+        let t = PlannerAdversary::SingleHotKey.table(500, 2, 3);
+        let mut keys = std::collections::HashSet::new();
+        for p in t.partitions() {
+            for s in p.column(0).as_str().unwrap() {
+                keys.insert(s.clone());
+            }
+        }
+        assert_eq!(keys.len(), 1);
+    }
+
+    #[test]
+    fn zipf_adversary_concentrates_harder_at_higher_exponent() {
+        let mass = |adv: PlannerAdversary| {
+            let t = adv.table(20_000, 4, 5);
+            let mut counts = std::collections::HashMap::new();
+            for p in t.partitions() {
+                for s in p.column(0).as_str().unwrap() {
+                    *counts.entry(s.clone()).or_insert(0u64) += 1;
+                }
+            }
+            *counts.values().max().unwrap() as f64 / 20_000.0
+        };
+        let uniform = mass(PlannerAdversary::Uniform);
+        let z10 = mass(PlannerAdversary::Zipf(1.0));
+        let z15 = mass(PlannerAdversary::Zipf(1.5));
+        assert!(uniform < z10 && z10 < z15, "{uniform} < {z10} < {z15} expected");
+        assert!(z15 > 0.2, "zipf(1.5) hot-key mass {z15}");
     }
 
     #[test]
