@@ -7,8 +7,11 @@ SMOKE_TOLERANCE ?= 0.2
 # The @planned rows carry a sampling pass and a data-dependent layout,
 # so their wall-clock floor is looser than a pinned spec's.
 SMOKE_PLANNER_TOLERANCE ?= 0.35
+# The @streamed rows carry router/worker/merge threading and per-batch
+# framing, so they get their own wall-clock floor too.
+SMOKE_STREAMED_TOLERANCE ?= 0.35
 
-.PHONY: build test lint docs bench-compile bench-smoke shard-gate planner-gate
+.PHONY: build test lint docs bench-compile bench-smoke shard-gate planner-gate runtime-gate
 
 build:
 	cargo build --release
@@ -37,6 +40,12 @@ shard-gate:
 planner-gate:
 	cargo test -q -p cheetah-db --test planner_contract
 
+# The named CI gate: streamed-runtime contract — run_cheetah_streamed
+# bit-identical to baseline across all seven variants x the adversarial
+# workload family x shards {1,2,7}, including a forced mid-run re-plan.
+runtime-gate:
+	cargo test -q -p cheetah-db --test runtime_contract
+
 # The CI perf-smoke invocation, byte for byte: runs the fixed-seed smoke
 # pass, writes $(SMOKE_OUT), and fails on >$(SMOKE_TOLERANCE) regression
 # vs the checked-in baseline.
@@ -45,4 +54,5 @@ bench-smoke:
 		--smoke-json $(SMOKE_OUT) \
 		--smoke-baseline $(SMOKE_BASELINE) \
 		--smoke-tolerance $(SMOKE_TOLERANCE) \
-		--smoke-planner-tolerance $(SMOKE_PLANNER_TOLERANCE)
+		--smoke-planner-tolerance $(SMOKE_PLANNER_TOLERANCE) \
+		--smoke-streamed-tolerance $(SMOKE_STREAMED_TOLERANCE)

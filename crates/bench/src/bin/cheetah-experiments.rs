@@ -10,7 +10,7 @@
 //!
 //!   EXPERIMENT        one of: table2 table3 fig5 fig6 fig7 fig8 fig9
 //!                     fig10 fig11 fig12_13 ablations shards planner
-//!                     (default: all)
+//!                     runtime (default: all)
 //!   --full            paper-scale streams (minutes) instead of quick
 //!   --csv DIR         additionally write one CSV per report into DIR
 //!   --shards LIST     comma-separated worker-shard axis for the sharded
@@ -24,6 +24,10 @@
 //!                     allowed fractional regression of the `@planned`
 //!                     rows (default 0.35 — planning adds a sampling pass
 //!                     and a data-dependent layout)
+//!   --smoke-streamed-tolerance
+//!                     allowed fractional regression of the `@streamed`
+//!                     rows (default 0.35 — the streamed runtime carries
+//!                     router/worker/merge threading and batch framing)
 //!   --smoke-seed      workload seed of the smoke pass (default 42)
 //! ```
 
@@ -41,6 +45,7 @@ fn main() {
     let mut smoke_baseline: Option<String> = None;
     let mut smoke_tolerance = 0.2f64;
     let mut smoke_planner_tolerance = 0.35f64;
+    let mut smoke_streamed_tolerance = 0.35f64;
     let mut smoke_seed = 42u64;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
@@ -100,6 +105,16 @@ fn main() {
                 }
                 smoke_planner_tolerance = parsed;
             }
+            "--smoke-streamed-tolerance" => {
+                i += 1;
+                let parsed: f64 =
+                    value_of(&args, i, "--smoke-streamed-tolerance").parse().unwrap_or(f64::NAN);
+                if !parsed.is_finite() || !(0.0..1.0).contains(&parsed) {
+                    eprintln!("--smoke-streamed-tolerance needs a fraction in [0, 1), e.g. 0.35");
+                    std::process::exit(2);
+                }
+                smoke_streamed_tolerance = parsed;
+            }
             "--smoke-seed" => {
                 i += 1;
                 smoke_seed = value_of(&args, i, "--smoke-seed").parse().unwrap_or_else(|_| {
@@ -114,7 +129,8 @@ fn main() {
                 );
                 println!(
                     "       cheetah-experiments --smoke-json PATH [--smoke-baseline PATH] \
-                     [--smoke-tolerance FRAC] [--smoke-planner-tolerance FRAC] [--smoke-seed N]"
+                     [--smoke-tolerance FRAC] [--smoke-planner-tolerance FRAC] \
+                     [--smoke-streamed-tolerance FRAC] [--smoke-seed N]"
                 );
                 println!("experiments:");
                 for (id, _) in experiments::all() {
@@ -133,6 +149,7 @@ fn main() {
             smoke_baseline.as_deref(),
             smoke_tolerance,
             smoke_planner_tolerance,
+            smoke_streamed_tolerance,
             smoke_seed,
         );
         return;
@@ -182,6 +199,7 @@ fn run_smoke_mode(
     baseline_path: Option<&str>,
     tolerance: f64,
     planner_tolerance: f64,
+    streamed_tolerance: f64,
     seed: u64,
 ) {
     eprintln!("running perf smoke (seed {seed})...");
@@ -204,13 +222,20 @@ fn run_smoke_mode(
         eprintln!("cannot parse baseline {baseline_path}: {e}");
         std::process::exit(2);
     });
-    let violations = report.regressions_against_with(&baseline, tolerance, planner_tolerance);
+    let violations = report.regressions_against_with(
+        &baseline,
+        tolerance,
+        planner_tolerance,
+        streamed_tolerance,
+    );
     if violations.is_empty() {
         eprintln!(
-            "perf smoke OK: {} families within {:.0}% of {baseline_path} ({:.0}% for @planned)",
+            "perf smoke OK: {} families within {:.0}% of {baseline_path} ({:.0}% for @planned, \
+             {:.0}% for @streamed)",
             report.families.len(),
             tolerance * 100.0,
-            planner_tolerance * 100.0
+            planner_tolerance * 100.0,
+            streamed_tolerance * 100.0
         );
     } else {
         eprintln!("perf smoke FAILED vs {baseline_path}:");

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod planner;
+pub mod runtime;
 pub mod shards;
 pub mod table2;
 pub mod table3;
@@ -36,6 +37,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("ablations", ablations::run),
         ("shards", shards::run),
         ("planner", planner::run),
+        ("runtime", runtime::run),
     ]
 }
 
@@ -48,7 +50,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
         for want in [
             "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12_13", "shards", "planner",
+            "fig12_13", "shards", "planner", "runtime",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

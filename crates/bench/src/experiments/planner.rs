@@ -13,7 +13,7 @@
 use crate::report::secs;
 use crate::{Report, RunCtx};
 use cheetah_core::ShardPartitioner;
-use cheetah_db::{Cluster, DbQuery, ShardSpec, ShardedRun};
+use cheetah_db::{Cluster, DbQuery, ShardPlanner, ShardSpec, ShardedRun, Tables};
 use cheetah_workloads::PlannerAdversary;
 
 const LINK_GBPS: f64 = 10.0;
@@ -110,6 +110,42 @@ pub fn run(ctx: &RunCtx) -> Vec<Report> {
             "{name}: planner chose {label} — {}; worst fixed spec was {worst_label}",
             plan.report.reason
         ));
+
+        // The calibration story (ROADMAP): how far the default cost
+        // constants sit from this machine, and how much of that gap a
+        // measured calibration closes. The model prices the worker and
+        // master phases (not the link transfer), so the measured side is
+        // the same phase sum.
+        let modelled = |run: &ShardedRun| {
+            let p = run.plan.as_ref().expect("planned run records its plan");
+            p.report
+                .curve
+                .iter()
+                .find(|c| c.shards == p.report.shards)
+                .map(|c| c.total())
+                .unwrap_or(0.0)
+        };
+        let phases = |run: &ShardedRun| run.breakdown.worker_seconds + run.breakdown.master_seconds;
+        let default_gap = (modelled(&planned) - phases(&planned)).abs();
+        let tables = match right_of {
+            Some(rt) => Tables::binary(&table, rt),
+            None => Tables::unary(&table),
+        };
+        let calibrated = ShardPlanner::new(planner.cfg.clone().calibrate(&cluster, &tables));
+        let cal_run = best_of(|| {
+            cluster.run_cheetah_planned(q, &table, right_of, &calibrated).expect("plan fits")
+        });
+        assert_eq!(single.output, cal_run.output, "{name}: calibrated run diverged");
+        let cal_gap = (modelled(&cal_run) - phases(&cal_run)).abs();
+        let cal = calibrated.cfg.calibration.expect("probe ran");
+        r.note(format!(
+            "{name}: modelled-vs-measured gap {:.3} ms with default constants, {:.3} ms \
+             calibrated (measured {:.0} entries/s serialize, {:.1} µs/shard overhead)",
+            default_gap * 1e3,
+            cal_gap * 1e3,
+            cal.measured_arrival_rate,
+            cal.measured_overhead_seconds * 1e6,
+        ));
     }
     r.note(format!(
         "left {} rows, right {} rows, zipf(1.5) keys; planned completion asserted ≤ the worst \
@@ -138,5 +174,12 @@ mod tests {
             r.rows.iter().filter(|row| row[1].starts_with("planned:")).collect();
         assert_eq!(planned_rows.len(), 3);
         assert!(r.notes.iter().any(|n| n.contains("planner chose")), "{:?}", r.notes);
+        // Every family reports the calibration's modelled-vs-measured gap.
+        assert_eq!(
+            r.notes.iter().filter(|n| n.contains("modelled-vs-measured gap")).count(),
+            3,
+            "{:?}",
+            r.notes
+        );
     }
 }

@@ -23,6 +23,7 @@
 use cheetah_core::ShardPartitioner;
 use cheetah_db::{Cluster, DbPredicate, DbQuery, IntCmp, ShardPlanner, ShardSpec, Table};
 use cheetah_net::ENTRY_WIRE_BYTES;
+use cheetah_runtime::{StreamSpec, StreamedExecution};
 use cheetah_workloads::SkewedTableConfig;
 use std::time::Instant;
 
@@ -118,10 +119,10 @@ fn measure_family(
     }
 }
 
-/// Run the smoke pass: every family unsharded, plus a fixed
-/// [`SMOKE_SHARDS`]-shard run *and* a planner-chosen run for three
-/// representative families — the planned-vs-fixed-spec rows the perf
-/// gate compares with their own tolerance.
+/// Run the smoke pass: every family unsharded, plus — for three
+/// representative families — a fixed [`SMOKE_SHARDS`]-shard run, a
+/// planner-chosen run, *and* a streamed-runtime run; the `@planned` and
+/// `@streamed` rows each gate with their own tolerance.
 pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
     let (left, right) = smoke_tables(seed, rows);
     let cluster = Cluster::default();
@@ -162,6 +163,18 @@ pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
         // count, so their wall-clock varies more than a pinned spec's.
         families.push(measure_family(format!("{name}@planned"), input_rows, reps, || {
             let run = cluster.run_cheetah_planned(&q, &left, right_of, &planner).expect("fits");
+            (run.switch_stats.pruned, run.breakdown.entries_to_master)
+        }));
+        // The streamed-runtime twin of the same fixed spec: survivor
+        // batches over bounded channels into the incremental merge. Its
+        // pruning counters are deterministic like every other row (input
+        // rounds change *which* duplicates the per-round switch programs
+        // see, so its floor differs from @shards — that is recorded in
+        // the baseline, not excused); its wall-clock carries threading +
+        // framing variance, hence its own gate tolerance.
+        let streamed = StreamSpec::fixed(spec);
+        families.push(measure_family(format!("{name}@streamed"), input_rows, reps, || {
+            let run = cluster.run_cheetah_streamed(&q, &left, right_of, &streamed).expect("fits");
             (run.switch_stats.pruned, run.breakdown.entries_to_master)
         }));
     }
@@ -245,24 +258,26 @@ impl SmokeReport {
     /// its ops/sec must not have dropped by more than `tolerance`
     /// (fraction, e.g. `0.2`), and its bytes-pruned must not have shrunk
     /// by more than `tolerance` (less pruning = quality regression).
-    /// `@planned` families are gated with `tolerance` too; use
-    /// [`SmokeReport::regressions_against_with`] to give them their own.
-    /// Returns the violations, empty when the gate passes.
+    /// `@planned` and `@streamed` families are gated with `tolerance`
+    /// too; use [`SmokeReport::regressions_against_with`] to give them
+    /// their own. Returns the violations, empty when the gate passes.
     pub fn regressions_against(&self, baseline: &SmokeReport, tolerance: f64) -> Vec<String> {
-        self.regressions_against_with(baseline, tolerance, tolerance)
+        self.regressions_against_with(baseline, tolerance, tolerance, tolerance)
     }
 
-    /// [`SmokeReport::regressions_against`] with a separate *ops/sec*
-    /// tolerance for the planner's `@planned` rows: a planned run's
-    /// wall-clock includes the sampling pass and a data-dependent shard
-    /// count, so its throughput floor is looser than a pinned spec's.
+    /// [`SmokeReport::regressions_against`] with separate *ops/sec*
+    /// tolerances for the planner's `@planned` rows (a sampling pass and
+    /// a data-dependent shard count) and the runtime's `@streamed` rows
+    /// (router/worker/merge threading and per-batch framing), both of
+    /// which carry more wall-clock variance than a pinned barrier spec.
     /// The deterministic bytes-pruned quality gate stays at the base
-    /// `tolerance` for every family, `@planned` included.
+    /// `tolerance` for every family, `@planned`/`@streamed` included.
     pub fn regressions_against_with(
         &self,
         baseline: &SmokeReport,
         tolerance: f64,
         planner_tolerance: f64,
+        streamed_tolerance: f64,
     ) -> Vec<String> {
         let mut violations = Vec::new();
         // The deterministic metrics only mean anything on the same
@@ -287,12 +302,17 @@ impl SmokeReport {
                 violations.push(format!("family {} disappeared from the smoke run", base.name));
                 continue;
             };
-            // Only the wall-clock floor loosens for @planned rows; the
-            // plan (and therefore bytes-pruned) is deterministic in
-            // (seed, data), so the quality floor stays at the base
-            // tolerance for every family.
-            let ops_tolerance =
-                if base.name.ends_with("@planned") { planner_tolerance } else { tolerance };
+            // Only the wall-clock floor loosens for @planned/@streamed
+            // rows; the plan (and therefore bytes-pruned) is
+            // deterministic in (seed, data), so the quality floor stays
+            // at the base tolerance for every family.
+            let ops_tolerance = if base.name.ends_with("@planned") {
+                planner_tolerance
+            } else if base.name.ends_with("@streamed") {
+                streamed_tolerance
+            } else {
+                tolerance
+            };
             let ops_floor = base.ops_per_sec * (1.0 - ops_tolerance);
             if cur.ops_per_sec < ops_floor {
                 violations.push(format!(
@@ -317,7 +337,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smoke_covers_all_seven_families_plus_sharded_and_planned_runs() {
+    fn smoke_covers_all_seven_families_plus_sharded_planned_and_streamed_runs() {
         let r = run_smoke(42, 2_000, 1);
         let names: Vec<&str> = r.families.iter().map(|f| f.name.as_str()).collect();
         for want in
@@ -326,8 +346,9 @@ mod tests {
             assert!(names.contains(&want), "missing {want}");
         }
         assert!(names.iter().filter(|n| n.contains("@shards4")).count() == 3);
-        // Every fixed-spec sharded row has its planned-vs-fixed twin.
+        // Every fixed-spec sharded row has its planned and streamed twins.
         assert!(names.iter().filter(|n| n.ends_with("@planned")).count() == 3);
+        assert!(names.iter().filter(|n| n.ends_with("@streamed")).count() == 3);
         for f in &r.families {
             assert!(f.ops_per_sec > 0.0, "{}: zero throughput", f.name);
         }
@@ -389,32 +410,44 @@ mod tests {
     }
 
     #[test]
-    fn planned_rows_gate_with_their_own_tolerance() {
+    fn planned_and_streamed_rows_gate_with_their_own_tolerances() {
         let base = run_smoke(3, 1_000, 1);
         let planned_idx = base
             .families
             .iter()
             .position(|f| f.name.ends_with("@planned"))
             .expect("planned family present");
+        let streamed_idx = base
+            .families
+            .iter()
+            .position(|f| f.name.ends_with("@streamed"))
+            .expect("streamed family present");
         // A 30% planned-row slowdown trips the default gate but passes
         // once the planner tolerance is widened…
         let mut slow = base.clone();
         slow.families[planned_idx].ops_per_sec = base.families[planned_idx].ops_per_sec * 0.7;
         assert!(!slow.regressions_against(&base, 0.2).is_empty());
-        assert!(slow.regressions_against_with(&base, 0.2, 0.4).is_empty());
-        // …while a fixed-spec row is never excused by the planner knob.
+        assert!(slow.regressions_against_with(&base, 0.2, 0.4, 0.2).is_empty());
+        // …the streamed knob excuses only @streamed rows…
+        let mut slow_streamed = base.clone();
+        slow_streamed.families[streamed_idx].ops_per_sec =
+            base.families[streamed_idx].ops_per_sec * 0.7;
+        assert!(!slow_streamed.regressions_against_with(&base, 0.2, 0.9, 0.2).is_empty());
+        assert!(slow_streamed.regressions_against_with(&base, 0.2, 0.2, 0.4).is_empty());
+        // …while a fixed-spec row is never excused by either knob.
         let fixed_idx =
             base.families.iter().position(|f| f.name.contains("@shards")).expect("fixed family");
         let mut slow_fixed = base.clone();
         slow_fixed.families[fixed_idx].ops_per_sec = base.families[fixed_idx].ops_per_sec * 0.7;
-        assert!(!slow_fixed.regressions_against_with(&base, 0.2, 0.9).is_empty());
-        // The deterministic quality gate binds planned rows at the *base*
-        // tolerance — a wide planner knob never excuses lost pruning.
-        let mut weak = base.clone();
-        weak.families[planned_idx].bytes_pruned =
-            (base.families[planned_idx].bytes_pruned as f64 * 0.7) as u64;
-        let v = weak.regressions_against_with(&base, 0.2, 0.9);
-        assert!(v.iter().any(|m| m.contains("bytes-pruned regressed")), "{v:?}");
+        assert!(!slow_fixed.regressions_against_with(&base, 0.2, 0.9, 0.9).is_empty());
+        // The deterministic quality gate binds planned and streamed rows
+        // at the *base* tolerance — wide knobs never excuse lost pruning.
+        for idx in [planned_idx, streamed_idx] {
+            let mut weak = base.clone();
+            weak.families[idx].bytes_pruned = (base.families[idx].bytes_pruned as f64 * 0.7) as u64;
+            let v = weak.regressions_against_with(&base, 0.2, 0.9, 0.9);
+            assert!(v.iter().any(|m| m.contains("bytes-pruned regressed")), "{v:?}");
+        }
     }
 
     #[test]

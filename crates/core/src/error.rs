@@ -32,6 +32,13 @@ pub enum Error {
         /// The out-of-range stream index.
         stream: usize,
     },
+    /// A fitted range plan supplied non-monotonic shard cut points — a
+    /// buggy re-fit would otherwise route keys to the wrong span
+    /// (`partition_point` assumes sorted boundaries).
+    UnsortedShardBoundaries {
+        /// Index of the first cut point below its predecessor.
+        index: usize,
+    },
 }
 
 impl Error {
@@ -39,7 +46,9 @@ impl Error {
     pub fn as_switch(&self) -> Option<&SwitchError> {
         match self {
             Error::Switch(e) => Some(e),
-            Error::ValueSlotOverflow { .. } | Error::MissingStream { .. } => None,
+            Error::ValueSlotOverflow { .. }
+            | Error::MissingStream { .. }
+            | Error::UnsortedShardBoundaries { .. } => None,
         }
     }
 }
@@ -54,6 +63,9 @@ impl fmt::Display for Error {
             Error::MissingStream { stream } => {
                 write!(f, "execution plan references input stream {stream}, which the source does not carry")
             }
+            Error::UnsortedShardBoundaries { index } => {
+                write!(f, "fitted shard boundaries are not ascending at cut {index}")
+            }
         }
     }
 }
@@ -62,7 +74,9 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Switch(e) => Some(e),
-            Error::ValueSlotOverflow { .. } | Error::MissingStream { .. } => None,
+            Error::ValueSlotOverflow { .. }
+            | Error::MissingStream { .. }
+            | Error::UnsortedShardBoundaries { .. } => None,
         }
     }
 }
@@ -96,6 +110,13 @@ mod tests {
     fn missing_stream_is_informative() {
         let e = Error::MissingStream { stream: 1 };
         assert!(e.to_string().contains("stream 1"), "{e}");
+        assert!(e.as_switch().is_none());
+    }
+
+    #[test]
+    fn unsorted_boundaries_is_informative() {
+        let e = Error::UnsortedShardBoundaries { index: 3 };
+        assert!(e.to_string().contains("cut 3"), "{e}");
         assert!(e.as_switch().is_none());
     }
 

@@ -435,7 +435,7 @@ mod tests {
         sorted.sort_unstable();
         let bounds = fit_boundaries(&sorted, 4);
         assert_eq!(bounds.len(), 3);
-        let sharder = Sharder::fitted_range(bounds);
+        let sharder = Sharder::fitted_range(bounds).unwrap();
         let load = max_load_fraction(&sample, &sharder);
         assert!(load < 0.35, "fitted load {load}");
         // The naive equal-span sharder over the full space piles

@@ -90,16 +90,23 @@ impl Sharder {
     /// holds roughly equal *observed mass* — the adaptive answer to
     /// clustered or skewed key domains. Cut points must be
     /// non-decreasing; duplicates simply leave spans empty.
-    pub fn fitted_range(boundaries: Vec<u64>) -> Self {
-        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries must be ascending");
-        Self {
+    ///
+    /// Non-monotonic cut points (a buggy re-fit) are rejected with a
+    /// typed [`Error::UnsortedShardBoundaries`](crate::Error) — the
+    /// routing lookup assumes sorted boundaries and would otherwise
+    /// silently send keys to the wrong span.
+    pub fn fitted_range(boundaries: Vec<u64>) -> crate::Result<Self> {
+        if let Some(i) = boundaries.windows(2).position(|w| w[0] > w[1]) {
+            return Err(crate::Error::UnsortedShardBoundaries { index: i + 1 });
+        }
+        Ok(Self {
             kind: ShardPartitioner::Range,
             shards: boundaries.len() + 1,
             seed: 0,
             lo: 0,
             hi: u64::MAX,
             boundaries,
-        }
+        })
     }
 
     /// Number of shards.
@@ -212,7 +219,7 @@ mod tests {
     fn fitted_range_routes_by_cut_points() {
         // Cut points 10, 20, 20, 30 → 5 shards; the duplicated boundary
         // leaves shard 2 empty (no key satisfies 20 <= k < 20).
-        let s = Sharder::fitted_range(vec![10, 20, 20, 30]);
+        let s = Sharder::fitted_range(vec![10, 20, 20, 30]).unwrap();
         assert_eq!(s.shards(), 5);
         assert_eq!(s.kind(), ShardPartitioner::Range);
         assert_eq!(s.shard_of(0), 0);
@@ -234,15 +241,20 @@ mod tests {
 
     #[test]
     fn fitted_range_with_no_boundaries_is_one_shard() {
-        let s = Sharder::fitted_range(Vec::new());
+        let s = Sharder::fitted_range(Vec::new()).unwrap();
         assert_eq!(s.shards(), 1);
         assert_eq!(s.shard_of(u64::MAX), 0);
     }
 
     #[test]
-    #[should_panic(expected = "ascending")]
-    fn fitted_range_rejects_descending_boundaries() {
-        let _ = Sharder::fitted_range(vec![10, 5]);
+    fn fitted_range_rejects_descending_boundaries_with_a_typed_error() {
+        // A buggy re-fit must surface as an error, never degrade routing.
+        let err = Sharder::fitted_range(vec![10, 5]).unwrap_err();
+        assert_eq!(err, crate::Error::UnsortedShardBoundaries { index: 1 });
+        let err = Sharder::fitted_range(vec![1, 2, 9, 3, 4]).unwrap_err();
+        assert_eq!(err, crate::Error::UnsortedShardBoundaries { index: 3 });
+        // Duplicates are fine (they only leave spans empty).
+        assert!(Sharder::fitted_range(vec![5, 5, 7]).is_ok());
     }
 
     #[test]

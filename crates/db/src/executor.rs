@@ -123,6 +123,8 @@ impl Cluster {
                 shards: 1,
                 master_ingest_seconds: 0.0,
                 plan: None,
+                overlap_seconds: 0.0,
+                replans: 0,
             },
             switch_stats: stats,
             rules: usage.rules,

@@ -55,9 +55,9 @@ pub use cheetah_core::{ShardPartitioner, Sharder};
 pub use engine::{CheetahRun, CheetahTuning, Cluster, ExecBreakdown, SparkRun};
 pub use executor::Tables;
 pub use expr::{DbPredicate, IntCmp, LikePattern};
-pub use master::{merge_shard_outputs, MasterIngestModel};
-pub use planner::{PlannerConfig, ShardPlanner};
+pub use master::{decompose_output, merge_shard_outputs, MasterIngestModel, MergeItem, MergeState};
+pub use planner::{fixed_sharder, routing_keys, Calibration, PlannerConfig, ShardPlanner};
 pub use query::{DbQuery, QueryOutput};
-pub use sharded::{ShardSpec, ShardStats, ShardedRun};
+pub use sharded::{route_range, ShardSpec, ShardStats, ShardedRun};
 pub use table::{Column, Partition, Table, TableBuilder};
 pub use value::{DataType, Value};

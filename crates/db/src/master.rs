@@ -24,6 +24,22 @@
 //! §4.6 master-bottleneck analysis) lives in `cheetah-net` next to the
 //! link models; it is re-exported here because the master is where callers
 //! meet it.
+//!
+//! # Incremental merging
+//!
+//! The merge semantics exist in two granularities over one state machine:
+//!
+//! * **batch-at-a-time** — the streamed runtime decomposes each shard
+//!   output into [`MergeItem`]s ([`decompose_output`]), frames them over
+//!   the wire, and folds them into a [`MergeState`] as they arrive
+//!   ([`MergeState::ingest_batch`]): TOP N and SKYLINE *re-prune* their
+//!   running survivors per batch, DISTINCT re-normalizes, GROUP BY /
+//!   HAVING / filtered counts / JOIN pair counts fold associatively. The
+//!   fold is order-insensitive across shards and batches, which is what
+//!   makes overlapping the merge with still-running workers safe.
+//! * **output-at-a-time** — the barrier path's [`merge_shard_outputs`] is
+//!   the same fold, driven with every shard's complete output at once.
+//!   One implementation, zero chance of the two paths diverging.
 
 // The ingest model moved to the layer that owns link modelling; the
 // re-export keeps `cheetah_db::MasterIngestModel` working.
@@ -32,96 +48,313 @@ pub use cheetah_net::MasterIngestModel;
 use crate::ops;
 use crate::query::{DbQuery, QueryOutput};
 use crate::value::Value;
-use std::collections::BTreeMap;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cheetah_net::WireError;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Merge per-shard outputs of `q` into the global output, following the
 /// per-operator semantics above. Every element of `outputs` must be the
 /// variant `q` produces (they come from the same executor); a mismatch is
 /// a bug in the caller, not a data error, and panics.
+///
+/// This is the batch plane driven to completion in one call: each output
+/// is decomposed into its [`MergeItem`]s and folded through a
+/// [`MergeState`].
 pub fn merge_shard_outputs(q: &DbQuery, outputs: Vec<QueryOutput>) -> QueryOutput {
-    match q {
-        // Count-sum family.
-        DbQuery::FilterCount { .. } => QueryOutput::Count(
-            outputs
-                .into_iter()
-                .map(|o| match o {
-                    QueryOutput::Count(c) => c,
-                    other => mismatch("Count", &other),
-                })
-                .sum(),
-        ),
-        DbQuery::Join { .. } => QueryOutput::JoinPairs(
-            outputs
-                .into_iter()
-                .map(|o| match o {
-                    QueryOutput::JoinPairs(p) => p,
-                    other => mismatch("JoinPairs", &other),
-                })
-                .sum(),
-        ),
-        // Re-prune family.
-        DbQuery::Distinct { .. } => {
-            let mut vals: Vec<Value> = Vec::new();
-            for o in outputs {
-                match o {
-                    QueryOutput::Values(v) => vals.extend(v),
-                    other => mismatch("Values", &other),
+    let mut state = MergeState::new(q);
+    for o in outputs {
+        state.ingest_batch(decompose_output(q, o));
+    }
+    state.finish()
+}
+
+/// One unit of mergeable survivor state — the granularity the streamed
+/// runtime ships between a shard worker and the master merge plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeItem {
+    /// A partial count (filtered rows, or JOIN pairs — the owning
+    /// [`MergeState`] knows which its query sums).
+    Count(u64),
+    /// One DISTINCT survivor value.
+    Value(Value),
+    /// One TOP N order-column survivor.
+    Top(i64),
+    /// One SKYLINE survivor point.
+    Point(Vec<i64>),
+    /// One `key → aggregate` pair (GROUP BY MAX / HAVING).
+    Keyed(Value, i64),
+}
+
+const ITEM_COUNT: u8 = 1;
+const ITEM_VALUE_INT: u8 = 2;
+const ITEM_VALUE_STR: u8 = 3;
+const ITEM_TOP: u8 = 4;
+const ITEM_POINT: u8 = 5;
+const ITEM_KEYED_INT: u8 = 6;
+const ITEM_KEYED_STR: u8 = 7;
+
+impl MergeItem {
+    /// Serialize into the opaque item payload of a
+    /// [`SurvivorBatch`](cheetah_net::SurvivorBatch) frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        match self {
+            MergeItem::Count(c) => {
+                b.put_u8(ITEM_COUNT);
+                b.put_u64(*c);
+            }
+            MergeItem::Value(Value::Int(v)) => {
+                b.put_u8(ITEM_VALUE_INT);
+                b.put_u64(*v as u64);
+            }
+            MergeItem::Value(Value::Str(s)) => {
+                b.put_u8(ITEM_VALUE_STR);
+                put_str(&mut b, s);
+            }
+            MergeItem::Top(v) => {
+                b.put_u8(ITEM_TOP);
+                b.put_u64(*v as u64);
+            }
+            MergeItem::Point(p) => {
+                b.put_u8(ITEM_POINT);
+                b.put_u16(p.len() as u16);
+                for &d in p {
+                    b.put_u64(d as u64);
                 }
             }
-            QueryOutput::values(vals)
-        }
-        DbQuery::TopN { n, .. } => {
-            let partials: Vec<Vec<i64>> = outputs
-                .into_iter()
-                .map(|o| match o {
-                    QueryOutput::TopValues(v) => v,
-                    other => mismatch("TopValues", &other),
-                })
-                .collect();
-            QueryOutput::top_values(ops::merge_topn(partials, *n))
-        }
-        DbQuery::Skyline { .. } => {
-            let mut pts: Vec<Vec<i64>> = Vec::new();
-            for o in outputs {
-                match o {
-                    QueryOutput::Points(p) => pts.extend(p),
-                    other => mismatch("Points", &other),
-                }
+            MergeItem::Keyed(Value::Int(k), v) => {
+                b.put_u8(ITEM_KEYED_INT);
+                b.put_u64(*k as u64);
+                b.put_u64(*v as u64);
             }
-            QueryOutput::points(ops::skyline_of(&pts))
-        }
-        // Key-union family.
-        DbQuery::GroupByMax { .. } => {
-            let mut merged: BTreeMap<Value, i64> = BTreeMap::new();
-            for o in outputs {
-                match o {
-                    QueryOutput::KeyedInts(m) => {
-                        for (k, v) in m {
-                            merged.entry(k).and_modify(|x| *x = (*x).max(v)).or_insert(v);
-                        }
-                    }
-                    other => mismatch("KeyedInts", &other),
-                }
+            MergeItem::Keyed(Value::Str(k), v) => {
+                b.put_u8(ITEM_KEYED_STR);
+                put_str(&mut b, k);
+                b.put_u64(*v as u64);
             }
-            QueryOutput::KeyedInts(merged)
         }
-        DbQuery::HavingSum { .. } => {
-            // Key-aligned routing puts every row of a key on one shard, so
-            // shard-local sums (and the threshold decision) are global.
-            let mut merged: BTreeMap<Value, i64> = BTreeMap::new();
-            for o in outputs {
-                match o {
-                    QueryOutput::KeyedInts(m) => merged.extend(m),
-                    other => mismatch("KeyedInts", &other),
+        b.freeze()
+    }
+
+    /// Parse an item payload back; defensive like the wire formats —
+    /// malformed payloads are typed [`WireError`]s, never panics.
+    pub fn decode(mut buf: Bytes) -> Result<MergeItem, WireError> {
+        if buf.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let item = match tag {
+            ITEM_COUNT => MergeItem::Count(get_u64(&mut buf)?),
+            ITEM_VALUE_INT => MergeItem::Value(Value::Int(get_u64(&mut buf)? as i64)),
+            ITEM_VALUE_STR => MergeItem::Value(Value::Str(get_str(&mut buf)?)),
+            ITEM_TOP => MergeItem::Top(get_u64(&mut buf)? as i64),
+            ITEM_POINT => {
+                if buf.remaining() < 2 {
+                    return Err(WireError::Truncated);
                 }
+                let dims = buf.get_u16() as usize;
+                let mut p = Vec::with_capacity(dims);
+                for _ in 0..dims {
+                    p.push(get_u64(&mut buf)? as i64);
+                }
+                MergeItem::Point(p)
             }
-            QueryOutput::KeyedInts(merged)
+            ITEM_KEYED_INT => {
+                let k = get_u64(&mut buf)? as i64;
+                MergeItem::Keyed(Value::Int(k), get_u64(&mut buf)? as i64)
+            }
+            ITEM_KEYED_STR => {
+                let k = get_str(&mut buf)?;
+                MergeItem::Keyed(Value::Str(k), get_u64(&mut buf)? as i64)
+            }
+            other => return Err(WireError::BadType(other)),
+        };
+        // A complete item consumes its payload exactly; trailing bytes
+        // mean the encoder and decoder disagree about the shape.
+        if buf.remaining() != 0 {
+            return Err(WireError::BadPayload);
+        }
+        Ok(item)
+    }
+}
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u32(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    let s = String::from_utf8(buf.slice(0..len).to_vec()).map_err(|_| WireError::BadPayload)?;
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Decompose one shard's completed output into its [`MergeItem`]s. The
+/// output must be the variant `q` produces; a mismatch panics, exactly
+/// like [`merge_shard_outputs`].
+pub fn decompose_output(q: &DbQuery, output: QueryOutput) -> Vec<MergeItem> {
+    match (q, output) {
+        (DbQuery::FilterCount { .. }, QueryOutput::Count(c)) => vec![MergeItem::Count(c)],
+        (DbQuery::FilterCount { .. }, other) => mismatch("Count", &other),
+        (DbQuery::Join { .. }, QueryOutput::JoinPairs(p)) => vec![MergeItem::Count(p)],
+        (DbQuery::Join { .. }, other) => mismatch("JoinPairs", &other),
+        (DbQuery::Distinct { .. }, QueryOutput::Values(v)) => {
+            v.into_iter().map(MergeItem::Value).collect()
+        }
+        (DbQuery::Distinct { .. }, other) => mismatch("Values", &other),
+        (DbQuery::TopN { .. }, QueryOutput::TopValues(v)) => {
+            v.into_iter().map(MergeItem::Top).collect()
+        }
+        (DbQuery::TopN { .. }, other) => mismatch("TopValues", &other),
+        (DbQuery::Skyline { .. }, QueryOutput::Points(p)) => {
+            p.into_iter().map(MergeItem::Point).collect()
+        }
+        (DbQuery::Skyline { .. }, other) => mismatch("Points", &other),
+        (DbQuery::GroupByMax { .. } | DbQuery::HavingSum { .. }, QueryOutput::KeyedInts(m)) => {
+            m.into_iter().map(|(k, v)| MergeItem::Keyed(k, v)).collect()
+        }
+        (DbQuery::GroupByMax { .. } | DbQuery::HavingSum { .. }, other) => {
+            mismatch("KeyedInts", &other)
         }
     }
 }
 
 fn mismatch(expected: &str, got: &QueryOutput) -> ! {
     panic!("shard output variant mismatch: expected {expected}, got {got:?}")
+}
+
+/// TOP N keeps at most this many values beyond `n` before re-pruning, so
+/// the running state stays bounded however many batches arrive.
+const TOPN_SLACK: usize = 256;
+
+/// The incremental master merge plane: per-operator survivor state that
+/// folds [`MergeItem`]s as batches arrive and yields the global
+/// [`QueryOutput`] at [`finish`](MergeState::finish).
+///
+/// The fold is associative and order-insensitive across shards and
+/// batches — re-prune (TOP N / SKYLINE / DISTINCT), key-union
+/// (GROUP BY MAX / HAVING), and count-sum (filter / JOIN) all commute —
+/// so the streamed runtime may interleave batches from different shards
+/// freely and still match the barrier merge bit for bit.
+#[derive(Debug, Clone)]
+pub struct MergeState {
+    acc: Acc,
+    ingested: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(u64),
+    JoinPairs(u64),
+    Values(BTreeSet<Value>),
+    Top { n: usize, vals: Vec<i64> },
+    Points(Vec<Vec<i64>>),
+    GroupMax(BTreeMap<Value, i64>),
+    Having(BTreeMap<Value, i64>),
+}
+
+impl MergeState {
+    /// Fresh merge state for `q`.
+    pub fn new(q: &DbQuery) -> Self {
+        let acc = match q {
+            DbQuery::FilterCount { .. } => Acc::Count(0),
+            DbQuery::Join { .. } => Acc::JoinPairs(0),
+            DbQuery::Distinct { .. } => Acc::Values(BTreeSet::new()),
+            DbQuery::TopN { n, .. } => Acc::Top { n: *n, vals: Vec::new() },
+            DbQuery::Skyline { .. } => Acc::Points(Vec::new()),
+            DbQuery::GroupByMax { .. } => Acc::GroupMax(BTreeMap::new()),
+            DbQuery::HavingSum { .. } => Acc::Having(BTreeMap::new()),
+        };
+        Self { acc, ingested: 0 }
+    }
+
+    /// Fold one item. The item kind must match the query's (a mismatch is
+    /// a caller bug and panics, like [`merge_shard_outputs`]).
+    pub fn ingest(&mut self, item: MergeItem) {
+        self.ingested += 1;
+        match (&mut self.acc, item) {
+            (Acc::Count(acc), MergeItem::Count(c)) => *acc += c,
+            (Acc::JoinPairs(acc), MergeItem::Count(p)) => *acc += p,
+            (Acc::Values(set), MergeItem::Value(v)) => {
+                set.insert(v);
+            }
+            (Acc::Top { n, vals }, MergeItem::Top(v)) => {
+                vals.push(v);
+                if vals.len() > *n + TOPN_SLACK {
+                    reprune_top(vals, *n);
+                }
+            }
+            (Acc::Points(pts), MergeItem::Point(p)) => pts.push(p),
+            (Acc::GroupMax(map), MergeItem::Keyed(k, v)) => {
+                map.entry(k).and_modify(|x| *x = (*x).max(v)).or_insert(v);
+            }
+            (Acc::Having(map), MergeItem::Keyed(k, v)) => {
+                // Key-aligned routing puts every row of a key on one
+                // shard, so shard-local sums (and the threshold decision)
+                // are global — later duplicates would carry the same sum.
+                map.insert(k, v);
+            }
+            (_, item) => panic!("merge item variant mismatch: {item:?} for this query"),
+        }
+    }
+
+    /// Fold a whole batch, then re-prune the running survivor state
+    /// (TOP N truncates to `n`, SKYLINE drops dominated points) so state
+    /// stays bounded by output size between batches, not by input size.
+    pub fn ingest_batch(&mut self, items: impl IntoIterator<Item = MergeItem>) {
+        for item in items {
+            self.ingest(item);
+        }
+        self.compact();
+    }
+
+    /// Items folded so far.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    fn compact(&mut self) {
+        match &mut self.acc {
+            Acc::Top { n, vals } => reprune_top(vals, *n),
+            Acc::Points(pts) if !pts.is_empty() => *pts = ops::skyline_of(pts),
+            _ => {}
+        }
+    }
+
+    /// Complete the merge: re-prune once more and emit the normalized
+    /// global output (equal to the corresponding barrier merge).
+    pub fn finish(mut self) -> QueryOutput {
+        self.compact();
+        match self.acc {
+            Acc::Count(c) => QueryOutput::Count(c),
+            Acc::JoinPairs(p) => QueryOutput::JoinPairs(p),
+            Acc::Values(set) => QueryOutput::Values(set.into_iter().collect()),
+            Acc::Top { vals, .. } => QueryOutput::top_values(vals),
+            Acc::Points(pts) => QueryOutput::points(pts),
+            Acc::GroupMax(map) | Acc::Having(map) => QueryOutput::KeyedInts(map),
+        }
+    }
+}
+
+fn reprune_top(vals: &mut Vec<i64>, n: usize) {
+    if vals.len() > n {
+        vals.sort_unstable_by(|a, b| b.cmp(a));
+        vals.truncate(n);
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +455,111 @@ mod tests {
     #[should_panic(expected = "variant mismatch")]
     fn variant_mismatch_is_a_loud_bug() {
         let _ = merge_shard_outputs(&filter_q(), vec![QueryOutput::JoinPairs(1)]);
+    }
+
+    // ------------------------------------------------------------------
+    // The incremental plane: codec + batch-order invariance
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn merge_items_round_trip_through_the_codec() {
+        let items = vec![
+            MergeItem::Count(u64::MAX),
+            MergeItem::Value(Value::Int(-5)),
+            MergeItem::Value(Value::Str("agent-λ".into())),
+            MergeItem::Value(Value::Str(String::new())),
+            MergeItem::Top(i64::MIN),
+            MergeItem::Point(vec![]),
+            MergeItem::Point(vec![3, -1, i64::MAX]),
+            MergeItem::Keyed(Value::Int(7), -9),
+            MergeItem::Keyed(Value::Str("key-0".into()), 1_000_000),
+        ];
+        for item in items {
+            let back = MergeItem::decode(item.encode()).expect("decode back");
+            assert_eq!(back, item);
+        }
+    }
+
+    #[test]
+    fn merge_item_decode_is_defensive() {
+        assert_eq!(MergeItem::decode(Bytes::new()), Err(WireError::Truncated));
+        assert_eq!(MergeItem::decode(Bytes::from(vec![99u8])), Err(WireError::BadType(99)));
+        // Every truncation of a valid payload errors instead of panicking.
+        let full = MergeItem::Keyed(Value::Str("hello".into()), 42).encode();
+        for len in 0..full.len() {
+            assert!(MergeItem::decode(full.slice(0..len)).is_err(), "len {len}");
+        }
+        // Corruption is not misreported as truncation: invalid UTF-8 in a
+        // complete string payload, and trailing bytes beyond the item,
+        // are both payload errors.
+        let bad_utf8 = Bytes::from(vec![3u8, 0, 0, 0, 1, 0xFF]);
+        assert_eq!(MergeItem::decode(bad_utf8), Err(WireError::BadPayload));
+        let mut trailing = MergeItem::Top(9).encode().to_vec();
+        trailing.push(0);
+        assert_eq!(MergeItem::decode(Bytes::from(trailing)), Err(WireError::BadPayload));
+    }
+
+    #[test]
+    fn incremental_batches_equal_the_barrier_merge_in_any_order() {
+        // Fold the same shard outputs item-by-item, in per-shard batches,
+        // and in reversed interleaved order: all must equal the one-shot
+        // barrier merge.
+        let q = DbQuery::TopN { order_col: 0, n: 3 };
+        let outputs =
+            vec![QueryOutput::top_values(vec![9, 7, 5]), QueryOutput::top_values(vec![8, 6, 4])];
+        let barrier = merge_shard_outputs(&q, outputs.clone());
+
+        let items: Vec<MergeItem> =
+            outputs.iter().flat_map(|o| decompose_output(&q, o.clone())).collect();
+        for chunk in [1usize, 2, 6] {
+            let mut fwd = MergeState::new(&q);
+            for c in items.chunks(chunk) {
+                fwd.ingest_batch(c.to_vec());
+            }
+            assert_eq!(fwd.finish(), barrier, "chunk {chunk}");
+            let mut rev = MergeState::new(&q);
+            rev.ingest_batch(items.iter().rev().cloned().collect::<Vec<_>>());
+            assert_eq!(rev.finish(), barrier, "reversed, chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn incremental_skyline_and_groupby_fold_per_batch() {
+        let q = DbQuery::Skyline { cols: vec![0, 1] };
+        let mut st = MergeState::new(&q);
+        st.ingest_batch(vec![MergeItem::Point(vec![1, 2]), MergeItem::Point(vec![2, 1])]);
+        st.ingest_batch(vec![MergeItem::Point(vec![3, 3])]);
+        assert_eq!(st.ingested(), 3);
+        assert_eq!(st.finish(), QueryOutput::Points(vec![vec![3, 3]]));
+
+        let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+        let mut st = MergeState::new(&q);
+        st.ingest_batch(vec![MergeItem::Keyed(Value::Int(1), 5)]);
+        st.ingest_batch(vec![
+            MergeItem::Keyed(Value::Int(1), 9),
+            MergeItem::Keyed(Value::Int(2), 1),
+        ]);
+        let want: BTreeMap<Value, i64> =
+            [(Value::Int(1), 9), (Value::Int(2), 1)].into_iter().collect();
+        assert_eq!(st.finish(), QueryOutput::KeyedInts(want));
+    }
+
+    #[test]
+    fn topn_state_stays_bounded_across_many_batches() {
+        let q = DbQuery::TopN { order_col: 0, n: 4 };
+        let mut st = MergeState::new(&q);
+        for round in 0..50i64 {
+            st.ingest_batch((0..100).map(|i| MergeItem::Top(round * 100 + i)));
+        }
+        // After every batch the state re-prunes to n.
+        assert_eq!(st.finish(), QueryOutput::TopValues(vec![4999, 4998, 4997, 4996]));
+    }
+
+    #[test]
+    #[should_panic(expected = "variant mismatch")]
+    fn merge_state_rejects_cross_query_items() {
+        let mut st = MergeState::new(&DbQuery::Distinct { col: 0 });
+        st.ingest(MergeItem::Top(5));
     }
 
     #[test]

@@ -31,10 +31,11 @@
 //! deterministic: same seed + same tables ⇒ identical [`ShardPlan`].
 
 use crate::engine::Cluster;
+use crate::executor::Tables;
 use crate::operators::encode_key;
 use crate::query::DbQuery;
 use crate::sharded::{ShardSpec, ShardedRun};
-use crate::table::{Partition, Table};
+use crate::table::{Partition, Table, TableBuilder};
 use crate::value::encode_ordered_i64;
 use cheetah_core::plan::{
     fit_boundaries, max_load_fraction, KeySampler, PlanDecision, PlanReport, ShardCostPoint,
@@ -62,6 +63,10 @@ pub struct PlannerConfig {
     /// Ingest model queried for the fan-in curve and applied to the
     /// planned run's survivor streams.
     pub ingest: MasterIngestModel,
+    /// The measurements a [`PlannerConfig::calibrate`] run recorded, when
+    /// this config's constants came from a probe instead of the
+    /// hard-coded defaults.
+    pub calibration: Option<Calibration>,
 }
 
 impl Default for PlannerConfig {
@@ -72,8 +77,99 @@ impl Default for PlannerConfig {
             range_load_factor: 2.0,
             per_shard_overhead_seconds: 300e-6,
             ingest: MasterIngestModel::default_rack(),
+            calibration: None,
         }
     }
+}
+
+/// What one [`PlannerConfig::calibrate`] probe measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Rows the throughput probe serialized.
+    pub probe_rows: u64,
+    /// Measured worker serialize rate (entries/second), installed as the
+    /// cost model's arrival rate.
+    pub measured_arrival_rate: f64,
+    /// Measured fixed cost of standing up one more shard (planning +
+    /// running one degenerate switch program), installed as
+    /// `per_shard_overhead_seconds`.
+    pub measured_overhead_seconds: f64,
+}
+
+impl PlannerConfig {
+    /// Replace the hard-coded cost constants with measured ones from a
+    /// short calibration run over (a slice of) the actual input:
+    ///
+    /// * **per-shard overhead** — the wall time of a complete executor
+    ///   run over a tiny slice, which is dominated by exactly the fixed
+    ///   work every additional shard pays (planning its own switch
+    ///   program, standing up its pipeline, one more merge input);
+    /// * **arrival rate** — the measured CWorker serialize rate over a
+    ///   larger probe slice, replacing the nominal 10 M entries/s the
+    ///   default model assumes.
+    ///
+    /// Best-effort: an empty input or a probe failure returns the config
+    /// unchanged. The probe is seeded data (the table's own first rows),
+    /// but the measurements are wall-clock — calibrated plans trade the
+    /// planner's bit-determinism for a model that matches this machine.
+    pub fn calibrate(mut self, cluster: &Cluster, tables: &Tables<'_>) -> PlannerConfig {
+        const PROBE_ROWS: usize = 512;
+        const OVERHEAD_ROWS: usize = 32;
+        const REPS: usize = 3;
+        let probe = probe_slice(tables.left, PROBE_ROWS);
+        if probe.rows() == 0 {
+            return self;
+        }
+        let q = DbQuery::Distinct { col: 0 };
+        // Fixed cost: the fastest of a few tiny complete runs.
+        let tiny = probe_slice(tables.left, OVERHEAD_ROWS);
+        let mut overhead = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = std::time::Instant::now();
+            if cluster.run_cheetah(&q, &tiny, None).is_err() {
+                return self;
+            }
+            overhead = overhead.min(t0.elapsed().as_secs_f64());
+        }
+        // Serialize rate: rows over the measured worker phase.
+        let mut worker_seconds = f64::INFINITY;
+        for _ in 0..REPS {
+            match cluster.run_cheetah(&q, &probe, None) {
+                Ok(run) => worker_seconds = worker_seconds.min(run.breakdown.worker_seconds),
+                Err(_) => return self,
+            }
+        }
+        let rate = probe.rows() as f64 / worker_seconds.max(1e-9);
+        let calibration = Calibration {
+            probe_rows: probe.rows() as u64,
+            measured_arrival_rate: rate,
+            measured_overhead_seconds: overhead,
+        };
+        self.per_shard_overhead_seconds = overhead.max(1e-9);
+        self.ingest.arrival_rate = rate.max(1.0);
+        self.calibration = Some(calibration);
+        self
+    }
+}
+
+/// The first `rows` rows of `table` as one single-partition table — the
+/// calibration probe's input.
+fn probe_slice(table: &Table, rows: usize) -> Table {
+    let take = table.rows().min(rows);
+    // `take + 1` keeps the builder's automatic partition cadence
+    // unreachable: the probe is exactly one partition.
+    let mut b = TableBuilder::new(table.name(), table.fields().to_vec(), take + 1);
+    let mut left = take;
+    'outer: for p in table.partitions() {
+        for r in 0..p.rows() {
+            if left == 0 {
+                break 'outer;
+            }
+            b.push_row(p.row(r));
+            left -= 1;
+        }
+    }
+    b.build()
 }
 
 /// The sample-driven shard planner.
@@ -137,9 +233,9 @@ impl ShardPlanner {
     }
 
     /// Plan from precomputed routing-key streams (what
-    /// [`Cluster::run_cheetah_planned`] uses so the keys are extracted
-    /// once for sampling *and* routing).
-    pub(crate) fn plan_from_keys(&self, key_slices: &[&[u64]], seed: u64) -> ShardPlan {
+    /// [`Cluster::run_cheetah_planned`] and the streamed runtime use so
+    /// the keys are extracted once for sampling *and* routing).
+    pub fn plan_from_keys(&self, key_slices: &[&[u64]], seed: u64) -> ShardPlan {
         let mut sampler = KeySampler::new(self.cfg.sample_size, seed);
         for &stream in key_slices {
             for &k in stream {
@@ -237,7 +333,8 @@ impl ShardPlanner {
     fn partitioner_at(&self, sample: &[u64], shards: usize, seed: u64) -> PartitionerChoice {
         let hash = Sharder::new(ShardPartitioner::Hash, shards, seed);
         let hash_load = max_load_fraction(sample, &hash);
-        let fitted = Sharder::fitted_range(fit_boundaries(sample, shards));
+        let fitted = Sharder::fitted_range(fit_boundaries(sample, shards))
+            .expect("fit_boundaries yields ascending cuts");
         let range_load = max_load_fraction(sample, &fitted);
         if range_load <= self.cfg.range_load_factor * hash_load {
             PartitionerChoice {
@@ -327,7 +424,12 @@ fn route_key(
 }
 
 /// Every row's routing key for stream `stream`, in row order.
-pub(crate) fn routing_keys(q: &DbQuery, stream: usize, table: &Table, seed: u64) -> Vec<u64> {
+///
+/// Public because every sharded execution path — the barrier twins here
+/// and in [`crate::sharded`], and the streamed runtime in
+/// `cheetah-runtime` — must route by the *same* keys for the per-operator
+/// merge semantics to hold.
+pub fn routing_keys(q: &DbQuery, stream: usize, table: &Table, seed: u64) -> Vec<u64> {
     let mut keys = Vec::with_capacity(table.rows());
     let mut global_row = 0u64;
     for p in table.partitions() {
@@ -346,8 +448,9 @@ pub(crate) fn routing_keys(q: &DbQuery, stream: usize, table: &Table, seed: u64)
 /// fingerprints fill only the lower 2⁶³; encoded small ints cluster
 /// around 2⁶³) split into populated spans instead of piling onto one
 /// shard. (The planner's *fitted* range plan goes further and cuts at the
-/// sampled quantiles.)
-pub(crate) fn fixed_sharder(spec: &ShardSpec, seed: u64, keys: &[&[u64]]) -> Sharder {
+/// sampled quantiles.) Shared with the streamed runtime's fixed-layout
+/// mode, hence public.
+pub fn fixed_sharder(spec: &ShardSpec, seed: u64, keys: &[&[u64]]) -> Sharder {
     match spec.partitioner {
         ShardPartitioner::Hash => Sharder::new(ShardPartitioner::Hash, spec.shards, seed),
         ShardPartitioner::Range => {
@@ -463,6 +566,41 @@ mod tests {
             plan.report
         );
         assert_eq!(plan.report.curve.len(), planner.cfg.max_shards);
+    }
+
+    #[test]
+    fn calibration_measures_real_constants_and_still_plans_correctly() {
+        let cluster = Cluster::default();
+        let t = test_table(3_000, 3);
+        let cfg = PlannerConfig::default().calibrate(&cluster, &Tables::unary(&t));
+        let cal = cfg.calibration.expect("probe ran");
+        assert_eq!(cal.probe_rows, 512);
+        assert!(cal.measured_arrival_rate > 0.0);
+        assert!(cal.measured_overhead_seconds > 0.0);
+        assert!(
+            (cfg.per_shard_overhead_seconds - cal.measured_overhead_seconds.max(1e-9)).abs()
+                < 1e-12
+        );
+        assert_eq!(cfg.ingest.arrival_rate, cal.measured_arrival_rate.max(1.0));
+        // A calibrated planner keeps the correctness contract.
+        let planner = ShardPlanner::new(cfg);
+        let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+        let planned = cluster.run_cheetah_planned(&q, &t, None, &planner).unwrap();
+        assert_eq!(planned.output, cluster.run_baseline(&q, &t, None).output);
+    }
+
+    #[test]
+    fn calibration_of_an_empty_table_is_a_no_op() {
+        let cluster = Cluster::default();
+        let t = crate::table::TableBuilder::new(
+            "empty",
+            vec![("agent".into(), crate::value::DataType::Str)],
+            8,
+        )
+        .build();
+        let cfg = PlannerConfig::default().calibrate(&cluster, &Tables::unary(&t));
+        assert_eq!(cfg, PlannerConfig::default());
+        assert!(cfg.calibration.is_none());
     }
 
     #[test]

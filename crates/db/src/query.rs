@@ -86,6 +86,27 @@ impl DbQuery {
     pub fn is_binary(&self) -> bool {
         matches!(self, DbQuery::Join { .. })
     }
+
+    /// Is the master merge correct under *any* deterministic assignment
+    /// of rows to shard runs — including assignments that change mid-run?
+    ///
+    /// Re-prune merges (TOP N, SKYLINE, DISTINCT), count sums, and
+    /// GROUP BY MAX (max of maxes over any cover of the rows) are; HAVING
+    /// needs every row of a key inside one shard run for its local sum +
+    /// threshold to be global, and JOIN needs both streams co-partitioned
+    /// into the same runs. The streamed runtime reads this to decide
+    /// whether input rounds and mid-run re-planning are available, or the
+    /// whole shard input must reach one executor run.
+    pub fn merge_routing_agnostic(&self) -> bool {
+        match self {
+            DbQuery::FilterCount { .. }
+            | DbQuery::Distinct { .. }
+            | DbQuery::TopN { .. }
+            | DbQuery::Skyline { .. }
+            | DbQuery::GroupByMax { .. } => true,
+            DbQuery::HavingSum { .. } | DbQuery::Join { .. } => false,
+        }
+    }
 }
 
 /// Normalized query output, comparable with `==` across execution paths.
@@ -166,6 +187,17 @@ mod tests {
         assert_eq!(DbQuery::Distinct { col: 0 }.kind(), "distinct");
         assert!(DbQuery::Join { left_key: 0, right_key: 0 }.is_binary());
         assert!(!DbQuery::Distinct { col: 0 }.is_binary());
+    }
+
+    #[test]
+    fn routing_agnosticism_splits_the_families_as_documented() {
+        assert!(DbQuery::Distinct { col: 0 }.merge_routing_agnostic());
+        assert!(DbQuery::TopN { order_col: 0, n: 3 }.merge_routing_agnostic());
+        assert!(DbQuery::GroupByMax { key_col: 0, val_col: 1 }.merge_routing_agnostic());
+        assert!(
+            !DbQuery::HavingSum { key_col: 0, val_col: 1, threshold: 0 }.merge_routing_agnostic()
+        );
+        assert!(!DbQuery::Join { left_key: 0, right_key: 0 }.merge_routing_agnostic());
     }
 
     #[test]

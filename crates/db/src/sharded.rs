@@ -104,22 +104,50 @@ pub struct ShardedRun {
     pub plan: Option<ShardPlan>,
 }
 
-/// Split `table` into `sharder.shards()` single-partition shard tables by
-/// the precomputed per-row routing keys. Shards that receive no rows
-/// become empty tables (one empty partition), which the executor handles
-/// like any degenerate input.
-fn split_stream(table: &Table, keys: &[u64], sharder: &Sharder) -> Vec<Table> {
+/// Route rows `[lo, hi)` of `table` (by global row index) to
+/// `sharder.shards()` single-partition sub-tables, using the precomputed
+/// per-row routing `keys`. Shards that receive no rows become empty
+/// tables (one empty partition), which the executor handles like any
+/// degenerate input.
+///
+/// Public because the streamed runtime's router dispatches the same
+/// splitting in *rounds* — one routing loop, shared by every twin, so a
+/// cadence or empty-shard fix can never diverge the dataflows.
+pub fn route_range(
+    table: &Table,
+    keys: &[u64],
+    sharder: &Sharder,
+    lo: usize,
+    hi: usize,
+) -> Vec<Table> {
+    // `+ 1` keeps the builder's automatic partition cadence unreachable:
+    // every sub-table is exactly one partition.
+    let cap = hi.saturating_sub(lo) + 1;
     let mut builders: Vec<TableBuilder> = (0..sharder.shards())
-        .map(|_| TableBuilder::new(table.name(), table.fields().to_vec(), table.rows().max(1)))
+        .map(|_| TableBuilder::new(table.name(), table.fields().to_vec(), cap))
         .collect();
-    let mut key_iter = keys.iter();
+    let mut base = 0usize;
     for p in table.partitions() {
-        for r in 0..p.rows() {
-            let key = *key_iter.next().expect("one routing key per row");
-            builders[sharder.shard_of(key)].push_row(p.row(r));
+        let rows = p.rows();
+        if base + rows > lo && base < hi {
+            let from = lo.saturating_sub(base);
+            let to = rows.min(hi - base);
+            for r in from..to {
+                builders[sharder.shard_of(keys[base + r])].push_row(p.row(r));
+            }
+        }
+        base += rows;
+        if base >= hi {
+            break;
         }
     }
     builders.into_iter().map(TableBuilder::build).collect()
+}
+
+/// Split the whole `table` into shard tables — the barrier paths' single
+/// "round".
+fn split_stream(table: &Table, keys: &[u64], sharder: &Sharder) -> Vec<Table> {
+    route_range(table, keys, sharder, 0, table.rows())
 }
 
 impl Cluster {
@@ -235,6 +263,8 @@ impl Cluster {
             shards: shards as u32,
             master_ingest_seconds: ingest.blocking_latency_sharded(&entries_per_shard),
             plan: Some(decision),
+            overlap_seconds: 0.0,
+            replans: 0,
         };
         Ok(ShardedRun { output, breakdown, switch_stats, per_shard, merge_seconds, rules, plan })
     }

@@ -108,6 +108,21 @@ impl MasterIngestModel {
         self.with_shards(active.max(1)).blocking_latency(total)
     }
 
+    /// The survivor-batch size the streamed runtime should frame at,
+    /// read off the fan-in curve: with `shards` workers streaming
+    /// concurrently, the aggregate outstanding entries across all
+    /// in-flight batches should stay well inside the linear-service
+    /// regime (a small fraction of [`backlog_halving`], past which the
+    /// master's effective service rate degrades and Figure 9's
+    /// super-linear buffering kicks in). Bigger batches amortize framing,
+    /// so the result is clamped to a useful floor/ceiling.
+    ///
+    /// [`backlog_halving`]: MasterIngestModel::backlog_halving
+    pub fn suggested_batch(&self, shards: usize) -> usize {
+        let per_shard = self.backlog_halving / (256.0 * shards.max(1) as f64);
+        (per_shard as usize).clamp(32, 8192)
+    }
+
     /// The shard planner's cost query: the modelled master latency of
     /// ingesting `entries` survivors streamed concurrently by `shards`
     /// workers. This is the fan-in curve the planner walks to decide
@@ -226,6 +241,72 @@ mod tests {
         let one = slow.planning_latency(1, 2_000_000);
         let eight = slow.planning_latency(8, 2_000_000);
         assert!(eight >= one * 0.95, "one={one}, eight={eight}");
+    }
+
+    #[test]
+    fn suggested_batch_shrinks_with_fan_in_and_stays_bounded() {
+        let m = MasterIngestModel::default_rack();
+        let mut last = usize::MAX;
+        for shards in [1usize, 2, 4, 7, 16, 64, 1024] {
+            let b = m.suggested_batch(shards);
+            assert!((32..=8192).contains(&b), "batch {b} out of range");
+            assert!(b <= last, "more shards must not grow the batch: {b} > {last}");
+            last = b;
+        }
+        // Zero shards clamps to one instead of dividing by nothing.
+        assert_eq!(m.suggested_batch(0), m.suggested_batch(1));
+        // A tiny backlog budget still yields a workable batch.
+        let tight = MasterIngestModel { backlog_halving: 1.0, ..m };
+        assert_eq!(tight.suggested_batch(8), 32);
+    }
+
+    // ------------------------------------------------------------------
+    // Edge coverage of the fan-in model (the shapes the streamed runtime
+    // and the planner both lean on).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn empty_shard_list_has_zero_latency() {
+        // No shards at all — not even empty ones — is a vacuous ingest.
+        let m = model(1e6);
+        assert_eq!(m.blocking_latency_sharded(&[]), 0.0);
+    }
+
+    #[test]
+    fn all_zero_entry_shards_have_zero_latency() {
+        let m = model(1e6);
+        assert_eq!(m.blocking_latency_sharded(&[0, 0, 0, 0]), 0.0);
+        // A single populated shard among zeros equals that shard alone.
+        let sparse = m.blocking_latency_sharded(&[0, 123_456, 0]);
+        let alone = m.blocking_latency_sharded(&[123_456]);
+        assert!((sparse - alone).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planning_latency_is_monotone_non_increasing_in_shard_count() {
+        // For a master fast enough to keep up, fan-in only helps (or
+        // saturates); the curve the planner walks must never *rise* with
+        // an extra worker at fixed total entries.
+        let m = model(1e9);
+        let mut last = f64::INFINITY;
+        for shards in 1..=32usize {
+            let t = m.planning_latency(shards, 3_000_000);
+            assert!(t <= last + 1e-12, "latency rose at {shards} shards: {t} > {last}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn nic_cap_saturates_the_fan_in_curve() {
+        // Beyond cap/arrival shards the aggregate rate pins at the cap:
+        // every further worker sees the identical modelled latency.
+        let m = model(1e9); // cap 40 M/s over 10 M/s per-shard arrivals
+        let at_cap = m.planning_latency(4, 2_000_000);
+        for shards in [5usize, 8, 16, 100] {
+            let t = m.planning_latency(shards, 2_000_000);
+            assert!((t - at_cap).abs() < 1e-12, "{shards} shards: {t} vs {at_cap}");
+        }
+        assert_eq!(m.with_shards(100).arrival_rate, m.nic_cap_rate);
     }
 
     #[test]

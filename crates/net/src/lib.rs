@@ -19,7 +19,10 @@
 //!   phase/transfer breakdown with the Figure 8 completion model;
 //! * [`ingest`] — the Figure 9 master-ingest queueing model, including
 //!   §4.6's shard fan-in (concurrent survivor streams sharing the master
-//!   downlink).
+//!   downlink);
+//! * [`stream`] — the survivor-batch frame the streamed shard runtime
+//!   moves between workers and the master merge plane (length-delimited
+//!   opaque merge units, checksummed like every other Cheetah frame).
 //!
 //! Not modelled: real sockets/DPDK (everything is simulated time), IP
 //! fragmentation, and congestion control (the paper's channel is a
@@ -32,6 +35,7 @@ pub mod channel;
 pub mod ingest;
 pub mod model;
 pub mod reliability;
+pub mod stream;
 pub mod transfer;
 pub mod wire;
 
@@ -39,5 +43,6 @@ pub use channel::{FaultProfile, Link, LinkOutcome, SimRng, SimTime};
 pub use ingest::MasterIngestModel;
 pub use model::{Encoded, ExecBreakdown, ENTRY_WIRE_BYTES};
 pub use reliability::{MasterFlow, SwitchAction, SwitchFlow, WorkerFlow};
+pub use stream::{SurvivorBatch, MAX_BATCH_ITEMS};
 pub use transfer::{TransferConfig, TransferReport, TransferSim};
 pub use wire::{AckPacket, AckSource, DataPacket, Packet, WireError, MAX_VALUES};

@@ -96,6 +96,17 @@ pub struct ExecBreakdown {
     /// sample-driven shard planner chose it — so every recorded
     /// measurement says which planning path produced it.
     pub plan: Option<PlanDecision>,
+    /// Master merge work (seconds) that ran *while shard workers were
+    /// still computing* — the streamed runtime's overlap win. Runs whose
+    /// master phase starts only after the worker join barrier record
+    /// zero. `master_seconds` already has this overlap discounted, so
+    /// [`completion_seconds`](ExecBreakdown::completion_seconds) stays
+    /// additive across all execution paths.
+    pub overlap_seconds: f64,
+    /// Mid-run re-plans the runtime supervisor adopted (re-fitted shard
+    /// boundaries for the remaining input). Zero for every path that
+    /// plans once, up front.
+    pub replans: u32,
 }
 
 impl Default for ExecBreakdown {
@@ -110,6 +121,8 @@ impl Default for ExecBreakdown {
             shards: 1,
             master_ingest_seconds: 0.0,
             plan: None,
+            overlap_seconds: 0.0,
+            replans: 0,
         }
     }
 }

@@ -1,0 +1,195 @@
+//! Survivor-batch framing for the streamed shard runtime.
+//!
+//! Under the barrier dataflow every shard's survivors reach the master as
+//! one completed output at the join point. The streamed runtime instead
+//! has each shard worker emit its survivors *incrementally*, in
+//! [`SurvivorBatch`] frames over a bounded channel, so the master's merge
+//! plane can fold early shards' results while slow (skewed) shards are
+//! still pruning. The frame is a first-class wire format, sibling to the
+//! entry packets of [`crate::wire`]: length-delimited opaque items (the
+//! engine encodes its merge units; this layer does not interpret them), a
+//! shard id + per-shard sequence number for ordering/telemetry, and the
+//! same 16-bit checksum and defensive parsing discipline — malformed
+//! frames are typed [`WireError`]s, never panics.
+
+use crate::wire::{checksum, WireError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame type discriminant (the entry packets use 1–4).
+const TYPE_BATCH: u8 = 5;
+
+/// Hard cap on items per frame (16-bit count field).
+pub const MAX_BATCH_ITEMS: usize = u16::MAX as usize;
+
+/// One batch of survivor merge-items streamed from a shard worker to the
+/// master merge plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurvivorBatch {
+    /// The emitting shard.
+    pub shard: u32,
+    /// Per-shard frame sequence number (0-based).
+    pub seq: u64,
+    /// Opaque per-item payloads — the query engine's encoded merge units.
+    pub items: Vec<Bytes>,
+}
+
+impl SurvivorBatch {
+    /// Serialize the frame, appending a trailing checksum.
+    ///
+    /// Panics if the batch exceeds [`MAX_BATCH_ITEMS`] — the runtime
+    /// chunks batches far below that.
+    pub fn emit(&self) -> Bytes {
+        assert!(self.items.len() <= MAX_BATCH_ITEMS, "too many items to frame");
+        let payload: usize = self.items.iter().map(|i| 4 + i.len()).sum();
+        let mut b = BytesMut::with_capacity(1 + 4 + 8 + 2 + payload + 2);
+        b.put_u8(TYPE_BATCH);
+        b.put_u32(self.shard);
+        b.put_u64(self.seq);
+        b.put_u16(self.items.len() as u16);
+        for item in &self.items {
+            b.put_u32(item.len() as u32);
+            b.put_slice(item);
+        }
+        let ck = checksum(&b);
+        b.put_u16(ck);
+        b.freeze()
+    }
+
+    /// Parse a frame and verify its checksum.
+    pub fn parse(mut buf: Bytes) -> Result<SurvivorBatch, WireError> {
+        if buf.len() < 1 + 4 + 8 + 2 + 2 {
+            return Err(WireError::Truncated);
+        }
+        let body_len = buf.len() - 2;
+        let claimed = u16::from_be_bytes([buf[body_len], buf[body_len + 1]]);
+        if checksum(&buf[..body_len]) != claimed {
+            return Err(WireError::BadChecksum);
+        }
+        let ty = buf.get_u8();
+        if ty != TYPE_BATCH {
+            return Err(WireError::BadType(ty));
+        }
+        let shard = buf.get_u32();
+        let seq = buf.get_u64();
+        let count = buf.get_u16();
+        let mut items = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            if buf.remaining() < 4 + 2 {
+                return Err(WireError::Truncated);
+            }
+            let len = buf.get_u32() as usize;
+            if buf.remaining() < len + 2 {
+                return Err(WireError::Truncated);
+            }
+            let item = buf.slice(0..len);
+            buf.advance(len);
+            items.push(item);
+        }
+        // Only the checksum trailer may remain: trailing payload beyond
+        // the declared item count is an encoder bug, not slack.
+        if buf.remaining() != 2 {
+            return Err(WireError::BadPayload);
+        }
+        Ok(SurvivorBatch { shard, seq, items })
+    }
+
+    /// Bytes this frame occupies on the wire, following the same
+    /// encapsulation convention as [`Packet::wire_bytes`]
+    /// (42 bytes of Ethernet/IP/UDP overhead, 64-byte minimum frame).
+    ///
+    /// [`Packet::wire_bytes`]: crate::wire::Packet::wire_bytes
+    pub fn wire_bytes(&self) -> u64 {
+        let payload: u64 = self.items.iter().map(|i| 4 + i.len() as u64).sum();
+        (1 + 4 + 8 + 2 + payload + 2 + 42).max(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(items: Vec<&'static [u8]>) -> SurvivorBatch {
+        SurvivorBatch {
+            shard: 3,
+            seq: 41,
+            items: items.into_iter().map(Bytes::from_static).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips_including_empty_batches_and_items() {
+        for b in [
+            batch(vec![b"hello", b"", b"world"]),
+            batch(vec![]),
+            SurvivorBatch {
+                shard: u32::MAX,
+                seq: u64::MAX,
+                items: vec![Bytes::from(vec![0u8; 300])],
+            },
+        ] {
+            let parsed = SurvivorBatch::parse(b.emit()).expect("parse back");
+            assert_eq!(parsed, b);
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let b = batch(vec![b"abcdef", b"gh"]);
+        let bytes = b.emit();
+        for len in 0..bytes.len() {
+            assert!(
+                SurvivorBatch::parse(bytes.slice(0..len)).is_err(),
+                "truncated to {len} bytes parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_never_silent() {
+        let b = batch(vec![b"payload", b"x"]);
+        let bytes = b.emit();
+        for i in 0..bytes.len() {
+            let mut m = bytes.to_vec();
+            m[i] ^= 0x20;
+            if let Ok(parsed) = SurvivorBatch::parse(Bytes::from(m)) {
+                assert_ne!(parsed, b, "bit flip at {i} went unnoticed");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_payload_beyond_the_item_count_is_rejected() {
+        // Re-frame a one-item batch claiming zero items: the item bytes
+        // become unreachable trailing payload, which must not silently
+        // vanish. (Bytes 1..5 hold the big-endian shard field; byte 13
+        // starts the 16-bit count.)
+        let b = batch(vec![b"ghost"]);
+        let mut m = b.emit().to_vec();
+        m[13] = 0;
+        m[14] = 0;
+        let body = m.len() - 2;
+        let ck = checksum(&m[..body]);
+        m[body..].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(SurvivorBatch::parse(Bytes::from(m)), Err(WireError::BadPayload));
+    }
+
+    #[test]
+    fn entry_packet_types_are_rejected() {
+        // A data packet handed to the batch parser is a type error, not a
+        // misread.
+        let p = crate::wire::Packet::FinAck { fid: 9 };
+        assert!(matches!(
+            SurvivorBatch::parse(p.emit()),
+            Err(WireError::BadType(_)) | Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn wire_bytes_matches_the_frame_convention() {
+        let empty = batch(vec![]);
+        assert_eq!(empty.wire_bytes(), 64, "minimum Ethernet frame");
+        let big = batch(vec![b"0123456789", b"0123456789"]);
+        assert_eq!(big.wire_bytes(), 15 + 2 * 14 + 2 + 42);
+        assert_eq!(big.emit().len() as u64 + 42, big.wire_bytes());
+    }
+}

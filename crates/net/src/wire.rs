@@ -36,6 +36,10 @@ pub enum WireError {
     TooManyValues(u8),
     /// Checksum mismatch (corrupted in flight).
     BadChecksum,
+    /// Structurally complete but semantically malformed payload — e.g.
+    /// invalid UTF-8 in a string field, or trailing bytes beyond the
+    /// declared contents.
+    BadPayload,
 }
 
 impl std::fmt::Display for WireError {
@@ -45,6 +49,7 @@ impl std::fmt::Display for WireError {
             WireError::BadType(t) => write!(f, "unknown packet type {t}"),
             WireError::TooManyValues(n) => write!(f, "too many values: {n}"),
             WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::BadPayload => write!(f, "malformed payload"),
         }
     }
 }
@@ -103,8 +108,9 @@ pub enum Packet {
     },
 }
 
-/// Internet-style 16-bit ones'-complement checksum.
-fn checksum(bytes: &[u8]) -> u16 {
+/// Internet-style 16-bit ones'-complement checksum (shared with the
+/// survivor-batch framing in [`crate::stream`]).
+pub(crate) fn checksum(bytes: &[u8]) -> u16 {
     let mut sum = 0u32;
     let mut chunks = bytes.chunks_exact(2);
     for c in &mut chunks {

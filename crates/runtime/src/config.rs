@@ -1,0 +1,105 @@
+//! Tuning of one streamed execution.
+
+use cheetah_db::{ShardPlanner, ShardSpec};
+use cheetah_net::MasterIngestModel;
+
+/// How the streamed runtime picks its shard layout — the same two choices
+/// the barrier twins offer.
+#[derive(Debug, Clone)]
+pub enum ShardLayout {
+    /// A hand-picked spec, like `run_cheetah_sharded`.
+    Fixed(ShardSpec),
+    /// Sample-driven, like `run_cheetah_planned`.
+    Planned(ShardPlanner),
+}
+
+/// Tuning of a [`run_cheetah_streamed`] execution.
+///
+/// [`run_cheetah_streamed`]: crate::StreamedExecution::run_cheetah_streamed
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Shard layout (fixed spec or planner).
+    pub layout: ShardLayout,
+    /// Survivor-batch size in merge items; `None` reads it off the ingest
+    /// model's fan-in curve
+    /// ([`suggested_batch`](MasterIngestModel::suggested_batch)).
+    pub batch: Option<usize>,
+    /// Input rounds for queries whose merge is routing-agnostic — the
+    /// granularity at which survivors start flowing and at which the
+    /// supervisor may re-plan. Key-holistic queries (HAVING, JOIN) always
+    /// run one round.
+    pub rounds: usize,
+    /// Per-shard budget of in-flight survivor batches: the master's one
+    /// shared channel is bounded at `channel_depth × shards` frames, so
+    /// this caps the *aggregate* backlog (senders block when the merge
+    /// plane falls behind — the backpressure that stands in for the
+    /// paper's token-bucket pacing), not each shard individually.
+    pub channel_depth: usize,
+    /// Dispatched-load imbalance (hottest shard over the balanced share)
+    /// above which the supervisor re-samples and re-fits — defaults to
+    /// the planner contract's 2× bound.
+    pub imbalance_factor: f64,
+    /// Master switch for mid-run re-planning.
+    pub replan: bool,
+    /// Reservoir size of the supervisor's remaining-input sample.
+    pub supervisor_sample: usize,
+}
+
+impl StreamSpec {
+    /// Stream under a hand-picked shard spec.
+    pub fn fixed(spec: ShardSpec) -> Self {
+        Self { layout: ShardLayout::Fixed(spec), ..Self::default() }
+    }
+
+    /// Stream under a planner-chosen layout.
+    pub fn planned(planner: ShardPlanner) -> Self {
+        Self { layout: ShardLayout::Planned(planner), ..Self::default() }
+    }
+
+    /// The ingest model of the chosen layout (batch sizing and the
+    /// modelled fan-in latency both read it).
+    pub fn ingest(&self) -> &MasterIngestModel {
+        match &self.layout {
+            ShardLayout::Fixed(s) => &s.ingest,
+            ShardLayout::Planned(p) => &p.cfg.ingest,
+        }
+    }
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        Self {
+            layout: ShardLayout::Planned(ShardPlanner::default()),
+            batch: None,
+            rounds: 4,
+            channel_depth: 2,
+            imbalance_factor: 2.0,
+            replan: true,
+            supervisor_sample: 512,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_core::ShardPartitioner;
+
+    #[test]
+    fn constructors_pick_the_layout_and_keep_defaults() {
+        let fixed = StreamSpec::fixed(ShardSpec::new(3, ShardPartitioner::Hash));
+        assert!(matches!(fixed.layout, ShardLayout::Fixed(s) if s.shards == 3));
+        assert_eq!(fixed.rounds, 4);
+        assert_eq!(fixed.imbalance_factor, 2.0);
+        assert!(fixed.replan);
+        let planned = StreamSpec::planned(ShardPlanner::default());
+        assert!(matches!(planned.layout, ShardLayout::Planned(_)));
+        assert!(planned.batch.is_none());
+    }
+
+    #[test]
+    fn ingest_reads_through_the_layout() {
+        let spec = StreamSpec::fixed(ShardSpec::new(2, ShardPartitioner::Range));
+        assert_eq!(spec.ingest().arrival_rate, MasterIngestModel::default_rack().arrival_rate);
+    }
+}

@@ -1,0 +1,82 @@
+//! # cheetah-runtime — the event-driven streamed shard runtime
+//!
+//! The barrier twins ([`Cluster::run_cheetah_sharded`] /
+//! [`Cluster::run_cheetah_planned`]) join every shard worker at a
+//! `std::thread::scope` barrier before the master touches a single
+//! survivor: one slow (skewed) shard stalls the whole merge, exactly the
+//! fan-in cost the [`MasterIngestModel`](cheetah_net::MasterIngestModel)
+//! curve predicts. This crate replaces the join-barrier dataflow with a
+//! streaming one — the third twin,
+//! [`run_cheetah_streamed`](StreamedExecution::run_cheetah_streamed),
+//! sharing the barrier paths' routing keys, sharders, and planner:
+//!
+//! ```text
+//!        router (rounds, re-plans)           workers (N threads)
+//!  rows ──────route by sharder──────▶ [unit ch] ─▶ prune shard slice
+//!    ▲                                              │ survivor batches
+//!    │ supervisor: dispatched-load                  ▼ (bounded channel)
+//!    └─ imbalance > 2×? re-fit ◀──── counters   master merge plane
+//!       boundaries for the rest                 MergeState::ingest_batch
+//! ```
+//!
+//! * **Overlap** — workers decompose each completed slice into
+//!   [`MergeItem`](cheetah_db::MergeItem)s and stream them in
+//!   [`SurvivorBatch`](cheetah_net::SurvivorBatch) frames over a
+//!   *bounded* channel (backpressure is the flow control); the master
+//!   folds batches into an incremental
+//!   [`MergeState`](cheetah_db::MergeState) while slow shards are still
+//!   pruning. The measured overlap is reported as
+//!   `ExecBreakdown::overlap_seconds`.
+//! * **Cross-shard batching** — the batch size comes off the ingest
+//!   model's fan-in curve
+//!   ([`suggested_batch`](cheetah_net::MasterIngestModel::suggested_batch)):
+//!   big enough to amortize framing, small enough that the aggregate
+//!   in-flight entries keep the merge plane in its linear service regime.
+//! * **Mid-run re-planning** — a [`RuntimeSupervisor`] watches per-shard
+//!   dispatch counters between input rounds; when observed load imbalance
+//!   exceeds the planner's 2× bound it re-samples the *remaining* routing
+//!   keys via `cheetah_core::plan` and re-fits quantile boundaries for
+//!   the rest of the input.
+//!
+//! ## When overlap pays
+//!
+//! Overlap buys exactly the merge work that the barrier would have
+//! serialized **behind the slowest shard**. It pays when
+//!
+//! 1. shard completion times are *spread* — skewed loads
+//!    (`cheetah_workloads::skew`), a straggling worker, or a fitted plan
+//!    gone stale mid-run; and
+//! 2. the master has real per-survivor merge work to hide — large
+//!    survivor sets (low pruning rates) or expensive folds (SKYLINE
+//!    dominance, wide GROUP BY key spaces).
+//!
+//! On a perfectly balanced cluster with heavy pruning there is nothing to
+//! hide: every worker finishes together and the pruned stream merges in
+//! microseconds — the streamed run then matches the barrier run, paying
+//! only framing overhead. The `runtime` bench experiment measures both
+//! regimes on the zipf(1.5) and single-hot-key adversaries.
+//!
+//! ## What streams, and what cannot
+//!
+//! Input *rounds* (and therefore re-planning) require the master merge to
+//! be correct under any assignment of rows to executor runs
+//! ([`DbQuery::merge_routing_agnostic`](cheetah_db::DbQuery::merge_routing_agnostic)):
+//! re-prune merges, count sums, and GROUP BY MAX qualify. HAVING (local
+//! sum + threshold must see every row of a key) and JOIN (both streams
+//! must meet inside one run) execute as a single round per shard — they
+//! still stream their survivor batches, so the merge of early shards
+//! overlaps late shards, but their routing is pinned for the whole run.
+//!
+//! [`Cluster::run_cheetah_sharded`]: cheetah_db::Cluster::run_cheetah_sharded
+//! [`Cluster::run_cheetah_planned`]: cheetah_db::Cluster::run_cheetah_planned
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod runtime;
+pub mod supervisor;
+
+pub use config::{ShardLayout, StreamSpec};
+pub use runtime::{StreamedExecution, StreamedRun};
+pub use supervisor::{ReplanEvent, RuntimeSupervisor};

@@ -1,0 +1,554 @@
+//! The streamed dataflow: router → shard workers → incremental merge.
+//!
+//! Three kinds of thread share one `std::thread::scope`:
+//!
+//! * the **router** walks the input in rounds, routes each round's rows
+//!   by the current [`Sharder`](cheetah_core::Sharder) into per-shard
+//!   sub-tables ([`route_range`], shared with the barrier twins),
+//!   dispatches them as work units, and lets the [`RuntimeSupervisor`]
+//!   re-fit the boundaries between rounds;
+//! * one **worker** per shard runs the unchanged generic executor on
+//!   each unit, decomposes the completed slice into
+//!   [`MergeItem`]s, and streams them as framed [`SurvivorBatch`]es over
+//!   a *bounded* channel (a full channel blocks the worker — the
+//!   backpressure that stands in for sender pacing);
+//! * the **master merge plane** (the calling thread) parses frames and
+//!   folds them into a [`MergeState`] as they arrive, instead of waiting
+//!   for a join barrier.
+//!
+//! Every timestamp is taken against one run-local epoch so the overlap —
+//! merge work performed while the slowest worker was still computing —
+//! can be read directly out of the event log afterwards.
+
+use crate::config::{ShardLayout, StreamSpec};
+use crate::supervisor::{ReplanEvent, RuntimeSupervisor};
+use bytes::Bytes;
+use cheetah_core::plan::{PlanDecision, ShardPlan};
+use cheetah_db::{
+    decompose_output, fixed_sharder, route_range, routing_keys, Cluster, DbQuery, MergeItem,
+    MergeState, QueryOutput, ShardStats, Table, TableBuilder,
+};
+use cheetah_net::{ExecBreakdown, MasterIngestModel, SurvivorBatch, MAX_BATCH_ITEMS};
+use cheetah_switch::ProgramStats;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Result of a streamed Cheetah execution — the streaming sibling of
+/// `cheetah_db::ShardedRun`, with the runtime's own telemetry on top.
+#[derive(Debug, Clone)]
+pub struct StreamedRun {
+    /// Merged, normalized query output — equal to the barrier runs' and
+    /// the baseline's.
+    pub output: QueryOutput,
+    /// Phase breakdown. `master_seconds` already discounts
+    /// `overlap_seconds` (merge work hidden behind still-running
+    /// workers), so `completion_seconds` stays comparable across the
+    /// three twins.
+    pub breakdown: ExecBreakdown,
+    /// Switch statistics summed across every shard's per-round programs.
+    pub switch_stats: ProgramStats,
+    /// Per-shard accounting, rounds summed.
+    pub per_shard: Vec<ShardStats>,
+    /// Total merge-plane work: every `ingest_batch` plus the final
+    /// `finish`, overlapped or not.
+    pub merge_seconds: f64,
+    /// Merge items per survivor batch this run framed at.
+    pub batch_size: usize,
+    /// Survivor batches the master ingested.
+    pub batches: u64,
+    /// Modelled wire bytes of those frames.
+    pub batch_wire_bytes: u64,
+    /// Input rounds the router dispatched (1 for key-holistic queries).
+    pub rounds: usize,
+    /// The supervisor's intervention log (adopted and rejected re-fits).
+    pub replan_events: Vec<ReplanEvent>,
+    /// The up-front plan, when the layout was planner-chosen.
+    pub plan: Option<ShardPlan>,
+    /// Control-plane rules of the largest per-shard program.
+    pub rules: usize,
+}
+
+/// The streamed execution entry point, implemented for
+/// [`Cluster`] — `use cheetah_runtime::StreamedExecution` brings
+/// `cluster.run_cheetah_streamed(..)` into scope as the third twin next
+/// to `run_cheetah_sharded` / `run_cheetah_planned`.
+pub trait StreamedExecution {
+    /// Execute `q` through the event-driven shard runtime: route rows in
+    /// rounds, prune per shard on worker threads, stream survivor
+    /// batches into the incremental master merge, re-plan mid-run when
+    /// the supervisor sees the load tip over.
+    ///
+    /// Output equals `run_baseline`'s for every query shape — streaming
+    /// changes *when* survivors reach the master, never *what* the query
+    /// answers.
+    fn run_cheetah_streamed(
+        &self,
+        q: &DbQuery,
+        left: &Table,
+        right: Option<&Table>,
+        spec: &StreamSpec,
+    ) -> cheetah_core::Result<StreamedRun>;
+}
+
+/// One routed slice of one shard's input for one round.
+struct WorkUnit {
+    left: Table,
+    right: Option<Table>,
+}
+
+/// What a shard worker hands back when its unit stream closes.
+#[derive(Default)]
+struct WorkerReport {
+    stats: ShardStats,
+    switch: ProgramStats,
+    passes: u8,
+    rules: usize,
+    /// Seconds since the run epoch at which this worker went idle.
+    finished_at: f64,
+}
+
+/// What the router hands back.
+struct RouterReport {
+    dispatched: Vec<u64>,
+    events: Vec<ReplanEvent>,
+}
+
+impl StreamedExecution for Cluster {
+    fn run_cheetah_streamed(
+        &self,
+        q: &DbQuery,
+        left: &Table,
+        right: Option<&Table>,
+        spec: &StreamSpec,
+    ) -> cheetah_core::Result<StreamedRun> {
+        let epoch = Instant::now();
+        let seed = self.tuning.seed;
+        let left_keys = routing_keys(q, 0, left, seed);
+        let right_keys = right.map(|r| routing_keys(q, 1, r, seed));
+        let key_slices: Vec<&[u64]> =
+            std::iter::once(left_keys.as_slice()).chain(right_keys.as_deref()).collect();
+
+        let (sharder0, ingest, plan, decision) = match &spec.layout {
+            ShardLayout::Fixed(s) => (
+                fixed_sharder(s, seed, &key_slices),
+                s.ingest,
+                None,
+                PlanDecision::Fixed(s.partitioner),
+            ),
+            ShardLayout::Planned(p) => {
+                let plan = p.plan_from_keys(&key_slices, seed);
+                let decision = PlanDecision::Planned(plan.report.partitioner);
+                (plan.sharder.clone(), p.cfg.ingest, Some(plan), decision)
+            }
+        };
+        let shards = sharder0.shards();
+        // Clamp to what one frame can carry — a user-pinned batch above
+        // the 16-bit item count would otherwise panic the framing.
+        let batch_size =
+            spec.batch.unwrap_or_else(|| ingest.suggested_batch(shards)).clamp(1, MAX_BATCH_ITEMS);
+        // Input rounds only where the merge tolerates rows moving between
+        // executor runs; HAVING/JOIN take their whole shard slice at once.
+        let rounds = if q.merge_routing_agnostic() { spec.rounds.max(1) } else { 1 };
+
+        let (batch_tx, batch_rx) = mpsc::sync_channel::<Bytes>(spec.channel_depth.max(1) * shards);
+        let mut unit_txs = Vec::with_capacity(shards);
+        let mut unit_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<WorkUnit>();
+            unit_txs.push(tx);
+            unit_rxs.push(rx);
+        }
+
+        let fold = std::thread::scope(|sc| -> cheetah_core::Result<Fold> {
+            // Shard workers: prune each unit, stream the survivors.
+            let workers: Vec<_> = unit_rxs
+                .into_iter()
+                .enumerate()
+                .map(|(shard, rx)| {
+                    let batch_tx = batch_tx.clone();
+                    sc.spawn(move || -> cheetah_core::Result<WorkerReport> {
+                        let mut rep = WorkerReport::default();
+                        let mut seq = 0u64;
+                        'units: for unit in rx {
+                            let run = self.run_cheetah(q, &unit.left, unit.right.as_ref())?;
+                            rep.stats.rows += unit.left.rows() as u64
+                                + unit.right.as_ref().map_or(0, |r| r.rows() as u64);
+                            rep.stats.worker_seconds += run.breakdown.worker_seconds;
+                            rep.stats.master_seconds += run.breakdown.master_seconds;
+                            rep.stats.worker_wire_bytes += run.breakdown.worker_wire_bytes;
+                            rep.stats.master_wire_bytes += run.breakdown.master_wire_bytes;
+                            rep.stats.entries_to_master += run.breakdown.entries_to_master;
+                            rep.stats.seen += run.switch_stats.seen;
+                            rep.stats.pruned += run.switch_stats.pruned;
+                            rep.switch.seen += run.switch_stats.seen;
+                            rep.switch.pruned += run.switch_stats.pruned;
+                            rep.switch.forwarded += run.switch_stats.forwarded;
+                            rep.passes = rep.passes.max(run.breakdown.passes);
+                            rep.rules = rep.rules.max(run.rules);
+                            let items = decompose_output(q, run.output);
+                            for chunk in items.chunks(batch_size) {
+                                let frame = SurvivorBatch {
+                                    shard: shard as u32,
+                                    seq,
+                                    items: chunk.iter().map(MergeItem::encode).collect(),
+                                }
+                                .emit();
+                                seq += 1;
+                                if batch_tx.send(frame).is_err() {
+                                    // The merge plane hung up: pruning
+                                    // further units is pure waste.
+                                    break 'units;
+                                }
+                            }
+                        }
+                        rep.finished_at = epoch.elapsed().as_secs_f64();
+                        Ok(rep)
+                    })
+                })
+                .collect();
+            // The master's recv loop must end when the last worker does.
+            drop(batch_tx);
+
+            // Router: rounds, dispatch, supervised re-fits.
+            let router = sc.spawn({
+                let mut sharder = sharder0.clone();
+                let left_keys = &left_keys;
+                let right_keys = right_keys.as_deref();
+                move || -> RouterReport {
+                    let mut supervisor =
+                        RuntimeSupervisor::new(spec.imbalance_factor, spec.supervisor_sample, seed);
+                    let mut dispatched = vec![0u64; shards];
+                    let total = left.rows();
+                    for round in 0..rounds {
+                        let lo = round * total / rounds;
+                        let hi = (round + 1) * total / rounds;
+                        let left_slices = route_range(left, left_keys, &sharder, lo, hi);
+                        // The right stream of a binary query rides the
+                        // single round, co-partitioned by the same sharder.
+                        let mut right_slices = (round == 0)
+                            .then(|| {
+                                right.map(|r| {
+                                    route_range(
+                                        r,
+                                        right_keys.expect("keys computed"),
+                                        &sharder,
+                                        0,
+                                        r.rows(),
+                                    )
+                                })
+                            })
+                            .flatten();
+                        for (shard, l) in left_slices.into_iter().enumerate() {
+                            let r = right_slices.as_mut().map(|v| {
+                                let placeholder = empty_like(&v[shard]);
+                                std::mem::replace(&mut v[shard], placeholder)
+                            });
+                            let unit_rows = l.rows() + r.as_ref().map_or(0, |t: &Table| t.rows());
+                            dispatched[shard] += unit_rows as u64;
+                            if unit_rows == 0 {
+                                continue;
+                            }
+                            unit_txs[shard].send(WorkUnit { left: l, right: r }).ok();
+                        }
+                        if spec.replan && round + 1 < rounds {
+                            if let Some(refit) =
+                                supervisor.consider(round, &dispatched, &left_keys[hi..], &sharder)
+                            {
+                                sharder = refit;
+                            }
+                        }
+                    }
+                    drop(unit_txs);
+                    RouterReport { dispatched, events: supervisor.into_events() }
+                }
+            });
+
+            // Master merge plane: fold survivor batches as they land.
+            let mut state = MergeState::new(q);
+            let mut merge_events: Vec<(f64, f64)> = Vec::new();
+            let mut batches = 0u64;
+            let mut batch_wire_bytes = 0u64;
+            while let Ok(frame) = batch_rx.recv() {
+                let start = epoch.elapsed().as_secs_f64();
+                let batch =
+                    SurvivorBatch::parse(frame).expect("in-memory survivor frame round-trips");
+                batch_wire_bytes += batch.wire_bytes();
+                batches += 1;
+                state.ingest_batch(
+                    batch
+                        .items
+                        .into_iter()
+                        .map(|i| MergeItem::decode(i).expect("merge item round-trips")),
+                );
+                merge_events.push((start, epoch.elapsed().as_secs_f64() - start));
+            }
+            let finish_start = epoch.elapsed().as_secs_f64();
+            let output = state.finish();
+            let finish_seconds = epoch.elapsed().as_secs_f64() - finish_start;
+
+            let router = router.join().expect("router panicked");
+            let reports = workers
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect::<cheetah_core::Result<Vec<_>>>()?;
+            Ok(Fold {
+                output,
+                reports,
+                router,
+                merge_events,
+                finish_seconds,
+                batches,
+                batch_wire_bytes,
+            })
+        })?;
+
+        Ok(assemble(fold, AssembleCtx { ingest, plan, decision, shards, batch_size, rounds }))
+    }
+}
+
+/// Everything the scope produced, before accounting.
+struct Fold {
+    output: QueryOutput,
+    reports: Vec<WorkerReport>,
+    router: RouterReport,
+    merge_events: Vec<(f64, f64)>,
+    finish_seconds: f64,
+    batches: u64,
+    batch_wire_bytes: u64,
+}
+
+struct AssembleCtx {
+    ingest: MasterIngestModel,
+    plan: Option<ShardPlan>,
+    decision: PlanDecision,
+    shards: usize,
+    batch_size: usize,
+    rounds: usize,
+}
+
+/// Turn the raw fold into the run's accounting: the overlap is the merge
+/// work that happened before the slowest worker went idle.
+fn assemble(fold: Fold, ctx: AssembleCtx) -> StreamedRun {
+    let Fold { output, reports, router, merge_events, finish_seconds, batches, batch_wire_bytes } =
+        fold;
+    let last_worker = reports.iter().map(|r| r.finished_at).fold(0.0, f64::max);
+    let ingest_seconds: f64 = merge_events.iter().map(|(_, d)| d).sum();
+    let overlap_seconds: f64 = merge_events
+        .iter()
+        .map(|&(start, dur)| (last_worker.min(start + dur) - start).max(0.0))
+        .sum();
+    let merge_seconds = ingest_seconds + finish_seconds;
+
+    let mut per_shard: Vec<ShardStats> = reports.iter().map(|r| r.stats).collect();
+    for (s, rows) in router.dispatched.iter().enumerate() {
+        // Rows routed to a shard whose every unit was empty never reach a
+        // worker; the router's count is authoritative.
+        per_shard[s].rows = *rows;
+    }
+    let switch_stats = reports.iter().fold(ProgramStats::default(), |mut acc, r| {
+        acc.seen += r.switch.seen;
+        acc.pruned += r.switch.pruned;
+        acc.forwarded += r.switch.forwarded;
+        acc
+    });
+    let entries_per_shard: Vec<u64> = per_shard.iter().map(|s| s.entries_to_master).collect();
+    let replans = router.events.iter().filter(|e| e.adopted).count() as u32;
+
+    let breakdown = ExecBreakdown {
+        // Workers run concurrently; the slowest shard bounds the phase.
+        worker_seconds: per_shard.iter().map(|s| s.worker_seconds).fold(0.0, f64::max),
+        // The master is one machine: per-slice completions plus the merge
+        // plane — minus the part of the merge hidden behind workers.
+        master_seconds: per_shard.iter().map(|s| s.master_seconds).sum::<f64>() + merge_seconds
+            - overlap_seconds,
+        worker_wire_bytes: per_shard.iter().map(|s| s.worker_wire_bytes).max().unwrap_or(0),
+        master_wire_bytes: per_shard.iter().map(|s| s.master_wire_bytes).sum(),
+        entries_to_master: entries_per_shard.iter().sum(),
+        passes: reports.iter().map(|r| r.passes).max().unwrap_or(1),
+        shards: ctx.shards as u32,
+        master_ingest_seconds: ctx.ingest.blocking_latency_sharded(&entries_per_shard),
+        plan: Some(ctx.decision),
+        overlap_seconds,
+        replans,
+    };
+    let rules = reports.iter().map(|r| r.rules).max().unwrap_or(0);
+    StreamedRun {
+        output,
+        breakdown,
+        switch_stats,
+        per_shard,
+        merge_seconds,
+        batch_size: ctx.batch_size,
+        batches,
+        batch_wire_bytes,
+        rounds: ctx.rounds,
+        replan_events: router.events,
+        plan: ctx.plan,
+        rules,
+    }
+}
+
+/// An empty table with `t`'s schema (placeholder when a shard's right
+/// slice is moved out of the round's vector).
+fn empty_like(t: &Table) -> Table {
+    TableBuilder::new(t.name(), t.fields().to_vec(), 1).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_core::{ShardPartitioner, Sharder};
+    use cheetah_db::{DataType, DbPredicate, IntCmp, ShardSpec, Value};
+
+    fn table(rows: usize, parts: usize) -> Table {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                ("key".into(), DataType::Str),
+                ("a".into(), DataType::Int),
+                ("b".into(), DataType::Int),
+            ],
+            rows.div_ceil(parts).max(1),
+        );
+        let mut x = 1u64;
+        for i in 0..rows {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            b.push_row(vec![
+                Value::Str(format!("key-{}", x % 37)),
+                Value::Int((x % 10_000) as i64),
+                Value::Int((i % 500) as i64),
+            ]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn route_range_partitions_exactly_the_requested_rows() {
+        let t = table(1_000, 4);
+        let keys: Vec<u64> = (0..1_000u64).collect();
+        let sharder = Sharder::new(ShardPartitioner::Hash, 3, 9);
+        let mid = route_range(&t, &keys, &sharder, 250, 750);
+        assert_eq!(mid.iter().map(Table::rows).sum::<usize>(), 500);
+        let all = route_range(&t, &keys, &sharder, 0, 1_000);
+        assert_eq!(all.iter().map(Table::rows).sum::<usize>(), 1_000);
+        let none = route_range(&t, &keys, &sharder, 400, 400);
+        assert_eq!(none.iter().map(Table::rows).sum::<usize>(), 0);
+        assert_eq!(none.len(), 3, "every shard gets a (possibly empty) table");
+    }
+
+    #[test]
+    fn round_slices_cover_the_input_exactly_once() {
+        let t = table(997, 3);
+        let keys: Vec<u64> = (0..997u64).rev().collect();
+        let sharder = Sharder::new(ShardPartitioner::Hash, 4, 1);
+        let rounds = 4;
+        let mut covered = 0usize;
+        for round in 0..rounds {
+            let lo = round * t.rows() / rounds;
+            let hi = (round + 1) * t.rows() / rounds;
+            covered +=
+                route_range(&t, &keys, &sharder, lo, hi).iter().map(Table::rows).sum::<usize>();
+        }
+        assert_eq!(covered, 997);
+    }
+
+    #[test]
+    fn streamed_matches_baseline_on_a_simple_grid() {
+        // The full 7×4×{1,2,7} grid lives in the runtime_contract gate;
+        // this is the crate-local smoke version.
+        let cluster = Cluster::default();
+        let t = table(2_000, 4);
+        let queries = [
+            DbQuery::FilterCount {
+                pred: DbPredicate::CmpInt { col: 1, op: IntCmp::Gt, lit: 5_000 },
+            },
+            DbQuery::Distinct { col: 0 },
+            DbQuery::TopN { order_col: 1, n: 10 },
+            DbQuery::GroupByMax { key_col: 0, val_col: 1 },
+            DbQuery::HavingSum { key_col: 0, val_col: 2, threshold: 4_000 },
+        ];
+        for q in queries {
+            let base = cluster.run_baseline(&q, &t, None);
+            for shards in [1usize, 4] {
+                let spec = StreamSpec::fixed(ShardSpec::new(shards, ShardPartitioner::Hash));
+                let run = cluster.run_cheetah_streamed(&q, &t, None, &spec).unwrap();
+                assert_eq!(base.output, run.output, "{} @ {shards}", q.kind());
+                assert_eq!(run.breakdown.shards as usize, shards);
+                assert_eq!(
+                    run.per_shard.iter().map(|s| s.rows).sum::<u64>(),
+                    2_000,
+                    "{}: routed rows lost",
+                    q.kind()
+                );
+                assert!(run.batches > 0, "{}: survivors must arrive in batches", q.kind());
+                assert!(run.breakdown.overlap_seconds <= run.merge_seconds + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn key_holistic_queries_run_one_round_and_never_replan() {
+        let cluster = Cluster::default();
+        let l = table(1_200, 3);
+        let r = table(600, 2);
+        let q = DbQuery::Join { left_key: 0, right_key: 0 };
+        let mut spec = StreamSpec::fixed(ShardSpec::new(3, ShardPartitioner::Hash));
+        spec.imbalance_factor = 0.0; // trigger at any imbalance — must still not fire
+        let run = cluster.run_cheetah_streamed(&q, &l, Some(&r), &spec).unwrap();
+        assert_eq!(run.rounds, 1);
+        assert_eq!(run.breakdown.replans, 0);
+        assert!(run.replan_events.is_empty());
+        assert_eq!(run.output, cluster.run_baseline(&q, &l, Some(&r)).output);
+        let q = DbQuery::HavingSum { key_col: 0, val_col: 2, threshold: 2_000 };
+        let run = cluster.run_cheetah_streamed(&q, &l, None, &spec).unwrap();
+        assert_eq!(run.rounds, 1);
+        assert_eq!(run.breakdown.replans, 0);
+    }
+
+    #[test]
+    fn planned_layout_records_its_plan() {
+        let cluster = Cluster::default();
+        let t = table(1_500, 3);
+        let q = DbQuery::Distinct { col: 0 };
+        let run = cluster.run_cheetah_streamed(&q, &t, None, &StreamSpec::default()).unwrap();
+        let plan = run.plan.as_ref().expect("planned layout records its plan");
+        assert_eq!(run.breakdown.shards as usize, plan.shards());
+        assert!(run.breakdown.plan.expect("decision").is_planned());
+        assert_eq!(run.output, cluster.run_baseline(&q, &t, None).output);
+    }
+
+    #[test]
+    fn empty_table_streams_cleanly() {
+        let cluster = Cluster::default();
+        let t = TableBuilder::new(
+            "empty",
+            vec![("key".into(), DataType::Str), ("a".into(), DataType::Int)],
+            4,
+        )
+        .build();
+        let spec = StreamSpec::fixed(ShardSpec::new(5, ShardPartitioner::Range));
+        let run =
+            cluster.run_cheetah_streamed(&DbQuery::Distinct { col: 0 }, &t, None, &spec).unwrap();
+        assert_eq!(run.output, QueryOutput::Values(vec![]));
+        assert_eq!(run.batches, 0);
+        assert_eq!(run.breakdown.entries_to_master, 0);
+        assert_eq!(run.breakdown.overlap_seconds, 0.0);
+    }
+
+    #[test]
+    fn batch_size_follows_the_fan_in_curve_unless_pinned() {
+        let cluster = Cluster::default();
+        let t = table(800, 2);
+        let q = DbQuery::Distinct { col: 0 };
+        let spec = StreamSpec::fixed(ShardSpec::new(4, ShardPartitioner::Hash));
+        let run = cluster.run_cheetah_streamed(&q, &t, None, &spec).unwrap();
+        assert_eq!(run.batch_size, spec.ingest().suggested_batch(4));
+        let mut pinned = spec.clone();
+        pinned.batch = Some(7);
+        let run = cluster.run_cheetah_streamed(&q, &t, None, &pinned).unwrap();
+        assert_eq!(run.batch_size, 7);
+        // 37 distinct survivors at batch 7 → ceil division worth of frames
+        // per emitting shard; at least more frames than the unpinned run.
+        assert!(run.batches >= 4, "tiny batches must yield multiple frames: {}", run.batches);
+    }
+}

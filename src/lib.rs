@@ -8,7 +8,7 @@
 //! query output — and the master completes the unchanged query on the
 //! survivors, so `Q(A_Q(D)) = Q(D)` by construction.
 //!
-//! This facade crate re-exports the five subsystems:
+//! This facade crate re-exports the six subsystems:
 //!
 //! * [`switch`] — a PISA dataplane simulator that *enforces* the resource
 //!   constraints the paper designs around (stages, ALUs, SRAM, TCAM, PHV,
@@ -21,6 +21,9 @@
 //! * [`net`] — the Cheetah wire format and the §7.2 reliability protocol
 //!   (the switch ACKs what it prunes) over a fault-injected link
 //!   simulator;
+//! * [`runtime`] — the event-driven streamed shard runtime: overlapped
+//!   incremental master merge, cross-shard survivor batching, and
+//!   supervised mid-run re-planning;
 //! * [`workloads`] — seeded generators for the Big Data benchmark, a
 //!   TPC-H subset, and the pruning-rate simulation streams.
 //!
@@ -65,6 +68,9 @@ pub use cheetah_db as db;
 
 /// Wire format, reliability protocol, link simulator (`cheetah-net`).
 pub use cheetah_net as net;
+
+/// The streamed shard runtime (`cheetah-runtime`).
+pub use cheetah_runtime as runtime;
 
 /// Benchmark data generators (`cheetah-workloads`).
 pub use cheetah_workloads as workloads;
