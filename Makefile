@@ -11,7 +11,13 @@ SMOKE_PLANNER_TOLERANCE ?= 0.35
 # framing, so they get their own wall-clock floor too.
 SMOKE_STREAMED_TOLERANCE ?= 0.35
 
-.PHONY: build test lint docs bench-compile bench-smoke shard-gate planner-gate runtime-gate
+CROSSOVER_OUT ?= BENCH_crossover.json
+CROSSOVER_BASELINE ?= ci/crossover_baseline.json
+# Wall clock on shared runners is noisy; the crossover shard count
+# itself is gated exactly (it may only ever move down).
+CROSSOVER_TOLERANCE ?= 0.35
+
+.PHONY: build test lint docs bench-compile bench-smoke bench-crossover shard-gate planner-gate runtime-gate
 
 build:
 	cargo build --release
@@ -56,3 +62,13 @@ bench-smoke:
 		--smoke-tolerance $(SMOKE_TOLERANCE) \
 		--smoke-planner-tolerance $(SMOKE_PLANNER_TOLERANCE) \
 		--smoke-streamed-tolerance $(SMOKE_STREAMED_TOLERANCE)
+
+# The CI perf-crossover invocation: run the shard-count sweep, write
+# $(CROSSOVER_OUT), and fail when any family's crossover shard count
+# moves up vs the checked-in baseline or its best throughput regresses
+# past $(CROSSOVER_TOLERANCE).
+bench-crossover:
+	cargo run --release -q -p cheetah-bench --bin cheetah-experiments -- \
+		--crossover-json $(CROSSOVER_OUT) \
+		--crossover-baseline $(CROSSOVER_BASELINE) \
+		--crossover-tolerance $(CROSSOVER_TOLERANCE)

@@ -29,8 +29,21 @@
 //!                     rows (default 0.35 — the streamed runtime carries
 //!                     router/worker/merge threading and batch framing)
 //!   --smoke-seed      workload seed of the smoke pass (default 42)
+//!   --crossover-json PATH
+//!                     run the crossover scale-sweep instead of
+//!                     experiments and write the report to PATH
+//!   --crossover-baseline PATH
+//!                     compare the sweep against this baseline JSON and
+//!                     exit 1 when a family's crossover shard count
+//!                     moved up or its best throughput regressed
+//!   --crossover-tolerance FRAC
+//!                     allowed fractional best-throughput regression of
+//!                     the crossover gate (default 0.35 — wall clock on
+//!                     shared CI runners; the crossover shard count
+//!                     itself is gated exactly, no tolerance)
 //! ```
 
+use cheetah_bench::crossover::{run_crossover_default, CrossoverReport};
 use cheetah_bench::experiments;
 use cheetah_bench::smoke::{run_smoke, SmokeReport};
 use cheetah_bench::{RunCtx, Scale};
@@ -47,6 +60,9 @@ fn main() {
     let mut smoke_planner_tolerance = 0.35f64;
     let mut smoke_streamed_tolerance = 0.35f64;
     let mut smoke_seed = 42u64;
+    let mut crossover_json: Option<String> = None;
+    let mut crossover_baseline: Option<String> = None;
+    let mut crossover_tolerance = 0.35f64;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
     let value_of = |args: &[String], i: usize, flag: &str| -> String {
@@ -115,6 +131,24 @@ fn main() {
                 }
                 smoke_streamed_tolerance = parsed;
             }
+            "--crossover-json" => {
+                i += 1;
+                crossover_json = Some(value_of(&args, i, "--crossover-json"));
+            }
+            "--crossover-baseline" => {
+                i += 1;
+                crossover_baseline = Some(value_of(&args, i, "--crossover-baseline"));
+            }
+            "--crossover-tolerance" => {
+                i += 1;
+                let parsed: f64 =
+                    value_of(&args, i, "--crossover-tolerance").parse().unwrap_or(f64::NAN);
+                if !parsed.is_finite() || !(0.0..1.0).contains(&parsed) {
+                    eprintln!("--crossover-tolerance needs a fraction in [0, 1), e.g. 0.35");
+                    std::process::exit(2);
+                }
+                crossover_tolerance = parsed;
+            }
             "--smoke-seed" => {
                 i += 1;
                 smoke_seed = value_of(&args, i, "--smoke-seed").parse().unwrap_or_else(|_| {
@@ -131,6 +165,10 @@ fn main() {
                     "       cheetah-experiments --smoke-json PATH [--smoke-baseline PATH] \
                      [--smoke-tolerance FRAC] [--smoke-planner-tolerance FRAC] \
                      [--smoke-streamed-tolerance FRAC] [--smoke-seed N]"
+                );
+                println!(
+                    "       cheetah-experiments --crossover-json PATH \
+                     [--crossover-baseline PATH] [--crossover-tolerance FRAC] [--smoke-seed N]"
                 );
                 println!("experiments:");
                 for (id, _) in experiments::all() {
@@ -152,6 +190,10 @@ fn main() {
             smoke_streamed_tolerance,
             smoke_seed,
         );
+        return;
+    }
+    if let Some(path) = crossover_json {
+        run_crossover_mode(&path, crossover_baseline.as_deref(), crossover_tolerance, smoke_seed);
         return;
     }
 
@@ -239,6 +281,49 @@ fn run_smoke_mode(
         );
     } else {
         eprintln!("perf smoke FAILED vs {baseline_path}:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        eprintln!();
+        eprintln!("per-row before/after (baseline = {baseline_path}):");
+        eprint!("{}", report.comparison_table(&baseline));
+        std::process::exit(1);
+    }
+}
+
+/// The CI crossover path: sweep, write JSON, optionally gate against a
+/// baseline. Exit code 1 = regression, 2 = usage/IO error.
+fn run_crossover_mode(out_path: &str, baseline_path: Option<&str>, tolerance: f64, seed: u64) {
+    eprintln!("running crossover sweep (seed {seed})...");
+    let report = run_crossover_default(seed);
+    let json = report.to_json();
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("wrote {out_path}");
+    println!("{json}");
+    let Some(baseline_path) = baseline_path else {
+        return;
+    };
+    let baseline_text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = CrossoverReport::parse_json(&baseline_text).unwrap_or_else(|e| {
+        eprintln!("cannot parse baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let violations = report.regressions_against(&baseline, tolerance);
+    if violations.is_empty() {
+        eprintln!(
+            "crossover OK: {} families, crossover points no later than {baseline_path}, \
+             throughput within {:.0}%",
+            report.families.len(),
+            tolerance * 100.0
+        );
+    } else {
+        eprintln!("crossover FAILED vs {baseline_path}:");
         for v in &violations {
             eprintln!("  - {v}");
         }

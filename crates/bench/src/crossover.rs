@@ -1,0 +1,483 @@
+//! The crossover scale-sweep behind CI's `BENCH_crossover.json` gate.
+//!
+//! The raw-speed question the smoke pass cannot answer: *at how many
+//! shards does parallel execution beat running the query unsharded?*
+//! This sweep runs three representative families over a shard-count
+//! axis (default 1, 2, 4, 8) on the persistent worker pool, with
+//! routing keys, sharder fitting, and the shard split itself hoisted
+//! out of the timed region (the resident-data stance: in deployment
+//! every worker holds its slice from ingest on, so the shuffle is not
+//! query latency), and reports two numbers per family:
+//!
+//! * **crossover shard count** — the smallest swept shard count whose
+//!   *modelled* completion ([`ExecBreakdown::completion_seconds`], the
+//!   Figure 8 stacked-phase model at a fixed link rate) beats the
+//!   1-shard run. The model is what makes this meaningful on a
+//!   single-core CI runner: `worker_seconds` is the max of the
+//!   per-shard measured times, so the parallel win shows up even when
+//!   the shards were time-sliced onto one core.
+//! * **best wall ops/sec** — raw measured throughput at the family's
+//!   fastest swept point, gating absolute per-op cost alongside the
+//!   model.
+//!
+//! The CI gate (`make bench-crossover`) fails when a family's crossover
+//! moves *up* (parallelism started paying later than the checked-in
+//! baseline says it should) or its best wall throughput regresses past
+//! the tolerance — so the crossover can only ever move down.
+//!
+//! The JSON is hand-rolled, one family per line, like the smoke
+//! report's: the parser only promises to read what
+//! [`CrossoverReport::to_json`] writes.
+
+use crate::smoke::SMOKE_SHARDS;
+use cheetah_core::ShardPartitioner;
+use cheetah_db::{
+    fixed_sharder, route_range, routing_keys, Cluster, DbQuery, PlanDecision, ShardSpec, Table,
+};
+use cheetah_net::ExecBreakdown;
+use cheetah_runtime::PooledExecution;
+use cheetah_workloads::SkewedTableConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Link rate the modelled completion is evaluated at (Gbit/s) — the
+/// paper's 10G rack fabric.
+pub const CROSSOVER_LINK_GBPS: f64 = 10.0;
+
+/// One swept point of one family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossoverPoint {
+    /// Worker shard count.
+    pub shards: usize,
+    /// Modelled completion seconds (Figure 8 model at
+    /// [`CROSSOVER_LINK_GBPS`]) of the best repetition.
+    pub completion_seconds: f64,
+    /// Measured wall seconds of the best repetition.
+    pub wall_seconds: f64,
+}
+
+/// One family's sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossoverFamily {
+    /// Family id, e.g. `distinct`.
+    pub name: String,
+    /// Smallest swept shard count (> 1) whose modelled completion beats
+    /// the 1-shard point; `None` when no swept point wins.
+    pub crossover_shards: Option<usize>,
+    /// Input rows per second at the family's fastest wall-clock point.
+    pub best_ops_per_sec: f64,
+    /// The sweep itself, in shard order.
+    pub points: Vec<CrossoverPoint>,
+}
+
+/// The whole crossover report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossoverReport {
+    /// Workload seed.
+    pub seed: u64,
+    /// Rows in the (left) sweep table.
+    pub rows: usize,
+    /// Per-family sweeps.
+    pub families: Vec<CrossoverFamily>,
+}
+
+/// Families the sweep covers — the same three the smoke pass shards.
+fn crossover_queries() -> Vec<(&'static str, DbQuery)> {
+    vec![
+        ("distinct", DbQuery::Distinct { col: 0 }),
+        ("groupby-max", DbQuery::GroupByMax { key_col: 0, val_col: 1 }),
+        ("join", DbQuery::Join { left_key: 0, right_key: 0 }),
+    ]
+}
+
+fn sweep_tables(seed: u64, rows: usize) -> (Table, Table) {
+    let left = SkewedTableConfig {
+        rows,
+        partitions: 4,
+        partition_skew: 0.6,
+        keys: 200,
+        key_skew: 1.0,
+        seed,
+    }
+    .build();
+    let right = SkewedTableConfig {
+        rows: rows / 2,
+        partitions: 2,
+        partition_skew: 0.4,
+        keys: 200,
+        key_skew: 0.8,
+        seed: seed ^ 0xFACE,
+    }
+    .build();
+    (left, right)
+}
+
+/// Run the sweep: for each family, each shard count best-of-`reps` on
+/// the pooled resident-data path — keys, sharders, and the shard split
+/// are all prepared once outside the timed region, matching the smoke
+/// pass's `@shards` rows.
+pub fn run_crossover(seed: u64, rows: usize, reps: usize, shard_axis: &[usize]) -> CrossoverReport {
+    let (left, right) = sweep_tables(seed, rows);
+    let cluster = Cluster::default();
+    let mut families = Vec::new();
+    for (name, q) in crossover_queries() {
+        let right_of = q.is_binary().then_some(&right);
+        let input_rows = left.rows() + right_of.map_or(0, |r| r.rows());
+        let left_keys = routing_keys(&q, 0, &left, seed);
+        let right_keys = right_of.map(|r| routing_keys(&q, 1, r, seed));
+        let key_slices: Vec<&[u64]> =
+            std::iter::once(left_keys.as_slice()).chain(right_keys.as_deref()).collect();
+
+        let mut points = Vec::with_capacity(shard_axis.len());
+        for &shards in shard_axis {
+            let spec = ShardSpec::new(shards, ShardPartitioner::Hash);
+            let sharder = fixed_sharder(&spec, seed, &key_slices);
+            let left_shards: Vec<Arc<Table>> =
+                route_range(&left, &left_keys, &sharder, 0, left.rows())
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect();
+            let right_shards: Option<Vec<Arc<Table>>> = right_of.map(|r| {
+                route_range(r, right_keys.as_deref().expect("binary query"), &sharder, 0, r.rows())
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect()
+            });
+            let mut best_wall = f64::INFINITY;
+            let mut best_breakdown: Option<ExecBreakdown> = None;
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                let run = cluster
+                    .run_cheetah_presplit(
+                        &q,
+                        &left_shards,
+                        right_shards.as_deref(),
+                        &spec.ingest,
+                        PlanDecision::Fixed(spec.partitioner),
+                        None,
+                    )
+                    .expect("plan fits");
+                let wall = t0.elapsed().as_secs_f64();
+                if wall < best_wall {
+                    best_wall = wall;
+                    best_breakdown = Some(run.breakdown);
+                }
+            }
+            let breakdown = best_breakdown.expect("at least one rep");
+            points.push(CrossoverPoint {
+                shards,
+                completion_seconds: breakdown.completion_seconds(CROSSOVER_LINK_GBPS),
+                wall_seconds: best_wall,
+            });
+        }
+        families.push(CrossoverFamily {
+            name: name.to_string(),
+            crossover_shards: find_crossover(&points),
+            best_ops_per_sec: points
+                .iter()
+                .map(|p| input_rows as f64 / p.wall_seconds.max(1e-12))
+                .fold(0.0, f64::max),
+            points,
+        });
+    }
+    CrossoverReport { seed, rows, families }
+}
+
+/// The smallest swept shard count above 1 whose modelled completion is
+/// strictly below the 1-shard point's.
+fn find_crossover(points: &[CrossoverPoint]) -> Option<usize> {
+    let single = points.iter().find(|p| p.shards == 1)?;
+    points
+        .iter()
+        .filter(|p| p.shards > 1 && p.completion_seconds < single.completion_seconds)
+        .map(|p| p.shards)
+        .min()
+}
+
+/// Default sweep invocation used by CI and the `crossover` experiment.
+pub fn run_crossover_default(seed: u64) -> CrossoverReport {
+    run_crossover(seed, 6_000, 3, &[1, 2, SMOKE_SHARDS, 8])
+}
+
+impl CrossoverReport {
+    /// Serialize: one family per line, stable field order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema\": 1,\n  \"seed\": {},\n  \"rows\": {},\n",
+            self.seed, self.rows
+        ));
+        out.push_str("  \"families\": [\n");
+        for (i, f) in self.families.iter().enumerate() {
+            let comma = if i + 1 < self.families.len() { "," } else { "" };
+            let cross = match f.crossover_shards {
+                Some(s) => s.to_string(),
+                None => "null".to_string(),
+            };
+            let points: Vec<String> = f
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"shards\": {}, \"completion_seconds\": {:.9}, \"wall_seconds\": {:.9}}}",
+                        p.shards, p.completion_seconds, p.wall_seconds
+                    )
+                })
+                .collect();
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"crossover_shards\": {cross}, \"best_ops_per_sec\": {:.1}, \"points\": [{}]}}{comma}\n",
+                f.name,
+                f.best_ops_per_sec,
+                points.join(", ")
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse what [`CrossoverReport::to_json`] writes (not a general
+    /// JSON parser — the build environment has no serde_json).
+    pub fn parse_json(s: &str) -> Result<CrossoverReport, String> {
+        let num_field = |chunk: &str, key: &str| -> Option<f64> {
+            let tag = format!("\"{key}\":");
+            let at = chunk.find(&tag)? + tag.len();
+            let rest = chunk[at..].trim_start();
+            let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+            rest[..end].trim().parse::<f64>().ok()
+        };
+        let str_field = |chunk: &str, key: &str| -> Option<String> {
+            let tag = format!("\"{key}\": \"");
+            let at = chunk.find(&tag)? + tag.len();
+            let end = chunk[at..].find('"')?;
+            Some(chunk[at..at + end].to_string())
+        };
+        let mut seed = None;
+        let mut rows = None;
+        let mut families = Vec::new();
+        for line in s.lines() {
+            if seed.is_none() && !line.contains("\"name\"") {
+                seed = num_field(line, "seed").map(|v| v as u64);
+            }
+            if rows.is_none() && !line.contains("\"name\"") {
+                rows = num_field(line, "rows").map(|v| v as usize);
+            }
+            let Some(name) = str_field(line, "name") else { continue };
+            let crossover_shards = {
+                let tag = "\"crossover_shards\":";
+                let at = line
+                    .find(tag)
+                    .ok_or_else(|| format!("family {name}: missing crossover_shards"))?
+                    + tag.len();
+                let rest = line[at..].trim_start();
+                if rest.starts_with("null") {
+                    None
+                } else {
+                    let end = rest.find([',', '}']).unwrap_or(rest.len());
+                    Some(
+                        rest[..end]
+                            .trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("family {name}: bad crossover_shards: {e}"))?,
+                    )
+                }
+            };
+            let best = num_field(line, "best_ops_per_sec")
+                .ok_or_else(|| format!("family {name}: missing best_ops_per_sec"))?;
+            let mut points = Vec::new();
+            for chunk in line.split("{\"shards\":").skip(1) {
+                let shards = num_field(&format!("\"shards\":{chunk}"), "shards")
+                    .ok_or_else(|| format!("family {name}: bad point shards"))?
+                    as usize;
+                let completion = num_field(chunk, "completion_seconds")
+                    .ok_or_else(|| format!("family {name}: point missing completion_seconds"))?;
+                let wall = num_field(chunk, "wall_seconds")
+                    .ok_or_else(|| format!("family {name}: point missing wall_seconds"))?;
+                points.push(CrossoverPoint {
+                    shards,
+                    completion_seconds: completion,
+                    wall_seconds: wall,
+                });
+            }
+            if points.is_empty() {
+                return Err(format!("family {name}: no sweep points"));
+            }
+            families.push(CrossoverFamily {
+                name,
+                crossover_shards,
+                best_ops_per_sec: best,
+                points,
+            });
+        }
+        if families.is_empty() {
+            return Err("no families found in crossover JSON".to_string());
+        }
+        Ok(CrossoverReport {
+            seed: seed.ok_or("missing seed")?,
+            rows: rows.ok_or("missing rows")?,
+            families,
+        })
+    }
+
+    /// Compare against a baseline: every baseline family must still
+    /// exist, its crossover shard count must not move *up* (and must not
+    /// vanish), and its best wall throughput must not drop by more than
+    /// `tolerance`. Returns the violations, empty when the gate passes.
+    pub fn regressions_against(&self, baseline: &CrossoverReport, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.seed != baseline.seed {
+            violations.push(format!(
+                "workload seed mismatch: run has {}, baseline has {} — not comparable",
+                self.seed, baseline.seed
+            ));
+            return violations;
+        }
+        if self.rows != baseline.rows {
+            violations.push(format!(
+                "workload size mismatch: run has {} rows, baseline has {} — not comparable",
+                self.rows, baseline.rows
+            ));
+            return violations;
+        }
+        for base in &baseline.families {
+            let Some(cur) = self.families.iter().find(|f| f.name == base.name) else {
+                violations.push(format!("family {} disappeared from the sweep", base.name));
+                continue;
+            };
+            match (base.crossover_shards, cur.crossover_shards) {
+                // The crossover only ever moves down: parallelism that
+                // paid at N shards must keep paying at ≤ N.
+                (Some(b), Some(c)) if c > b => violations.push(format!(
+                    "{}: crossover moved up {b} -> {c} shards (parallelism pays later)",
+                    base.name
+                )),
+                (Some(b), None) => violations.push(format!(
+                    "{}: crossover vanished (baseline had it at {b} shards)",
+                    base.name
+                )),
+                _ => {}
+            }
+            let floor = base.best_ops_per_sec * (1.0 - tolerance);
+            if cur.best_ops_per_sec < floor {
+                violations.push(format!(
+                    "{}: best ops/sec regressed {:.0} -> {:.0} (floor {:.0})",
+                    base.name, base.best_ops_per_sec, cur.best_ops_per_sec, floor
+                ));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CrossoverReport {
+        run_crossover(5, 1_200, 1, &[1, 2, 4])
+    }
+
+    #[test]
+    fn sweep_covers_every_family_and_point() {
+        let r = quick();
+        assert_eq!(r.families.len(), 3);
+        for f in &r.families {
+            assert_eq!(f.points.len(), 3, "{}", f.name);
+            assert_eq!(
+                f.points.iter().map(|p| p.shards).collect::<Vec<_>>(),
+                vec![1, 2, 4],
+                "{}",
+                f.name
+            );
+            for p in &f.points {
+                assert!(p.completion_seconds > 0.0, "{} @ {}", f.name, p.shards);
+                assert!(p.wall_seconds > 0.0, "{} @ {}", f.name, p.shards);
+            }
+            assert!(f.best_ops_per_sec > 0.0, "{}", f.name);
+            if let Some(c) = f.crossover_shards {
+                assert!(c > 1, "{}: crossover at {c}", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_is_the_smallest_winning_shard_count() {
+        let points = vec![
+            CrossoverPoint { shards: 1, completion_seconds: 1.0, wall_seconds: 1.0 },
+            CrossoverPoint { shards: 2, completion_seconds: 1.2, wall_seconds: 1.0 },
+            CrossoverPoint { shards: 4, completion_seconds: 0.7, wall_seconds: 1.0 },
+            CrossoverPoint { shards: 8, completion_seconds: 0.6, wall_seconds: 1.0 },
+        ];
+        assert_eq!(find_crossover(&points), Some(4));
+        let none = vec![
+            CrossoverPoint { shards: 1, completion_seconds: 1.0, wall_seconds: 1.0 },
+            CrossoverPoint { shards: 2, completion_seconds: 1.2, wall_seconds: 1.0 },
+        ];
+        assert_eq!(find_crossover(&none), None);
+        assert_eq!(find_crossover(&none[1..]), None, "no 1-shard reference, no crossover");
+    }
+
+    #[test]
+    fn json_round_trips_including_null_crossover() {
+        let mut r = quick();
+        r.families[1].crossover_shards = None;
+        let parsed = CrossoverReport::parse_json(&r.to_json()).expect("parse back");
+        assert_eq!(parsed.seed, r.seed);
+        assert_eq!(parsed.rows, r.rows);
+        assert_eq!(parsed.families.len(), r.families.len());
+        for (a, b) in parsed.families.iter().zip(&r.families) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.crossover_shards, b.crossover_shards);
+            assert!((a.best_ops_per_sec - b.best_ops_per_sec).abs() <= 0.1, "{}", a.name);
+            assert_eq!(a.points.len(), b.points.len());
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert_eq!(pa.shards, pb.shards);
+                assert!((pa.completion_seconds - pb.completion_seconds).abs() < 1e-6);
+                assert!((pa.wall_seconds - pb.wall_seconds).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_catches_upward_crossover_and_throughput_loss() {
+        let base = quick();
+        assert!(base.regressions_against(&base, 0.25).is_empty());
+        // Crossover moving up is a violation even with a wide tolerance.
+        let mut worse = base.clone();
+        worse.families[0].crossover_shards =
+            Some(base.families[0].crossover_shards.unwrap_or(2) * 2);
+        let v = worse.regressions_against(&base, 0.9);
+        if base.families[0].crossover_shards.is_some() {
+            assert!(v.iter().any(|m| m.contains("crossover moved up")), "{v:?}");
+        }
+        // A vanished crossover is a violation when the baseline had one.
+        let mut gone = base.clone();
+        gone.families[0].crossover_shards = None;
+        if base.families[0].crossover_shards.is_some() {
+            let v = gone.regressions_against(&base, 0.9);
+            assert!(v.iter().any(|m| m.contains("crossover vanished")), "{v:?}");
+        }
+        // Crossover moving *down* is fine.
+        let mut better = base.clone();
+        for f in &mut better.families {
+            f.crossover_shards = Some(2);
+        }
+        let only_ok = better.regressions_against(&base, 0.25);
+        assert!(only_ok.iter().all(|m| !m.contains("crossover")), "{only_ok:?}");
+        // Throughput floor.
+        let mut slow = base.clone();
+        slow.families[0].best_ops_per_sec = base.families[0].best_ops_per_sec / 10.0;
+        let v = slow.regressions_against(&base, 0.25);
+        assert!(v.iter().any(|m| m.contains("best ops/sec regressed")), "{v:?}");
+        // Different workloads never compare.
+        let mut reseeded = base.clone();
+        reseeded.seed ^= 1;
+        assert!(reseeded.regressions_against(&base, 0.25)[0].contains("seed mismatch"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(CrossoverReport::parse_json("not json").is_err());
+        assert!(CrossoverReport::parse_json("{}").is_err());
+    }
+}

@@ -2,6 +2,7 @@
 //! the sharded-execution sweep.
 
 pub mod ablations;
+pub mod crossover;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12_13;
@@ -38,6 +39,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("shards", shards::run),
         ("planner", planner::run),
         ("runtime", runtime::run),
+        ("crossover", crossover::run),
     ]
 }
 
@@ -49,8 +51,20 @@ mod tests {
     fn registry_covers_every_artifact() {
         let ids: Vec<&str> = all().iter().map(|(id, _)| *id).collect();
         for want in [
-            "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12_13", "shards", "planner", "runtime",
+            "table2",
+            "table3",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12_13",
+            "shards",
+            "planner",
+            "runtime",
+            "crossover",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

@@ -25,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crossover;
 pub mod experiments;
 pub mod report;
 pub mod smoke;
 
+pub use crossover::{run_crossover, run_crossover_default, CrossoverFamily, CrossoverReport};
 pub use report::Report;
 pub use smoke::{run_smoke, SmokeFamily, SmokeReport};
 

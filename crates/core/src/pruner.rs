@@ -74,6 +74,35 @@ impl<P: SwitchProgram> StandalonePruner<P> {
     }
 }
 
+impl StandalonePruner<cheetah_switch::Pipeline> {
+    /// Offer a run of same-flow entries through the wrapped pipeline with
+    /// flow dispatch hoisted out of the inner loop (one `fid → program`
+    /// lookup per run, bulk stats) — the batch sibling of
+    /// [`offer_for_fid`](Self::offer_for_fid), and what the executor's
+    /// per-pass entry loops call. `sink` observes each entry's index and
+    /// verdict in stream order.
+    ///
+    /// Verdicts, pipeline stats, and this wrapper's own counters all
+    /// match a per-entry `offer_for_fid` loop exactly.
+    pub fn offer_run<'v>(
+        &mut self,
+        fid: u32,
+        entries: impl Iterator<Item = &'v [u64]>,
+        mut sink: impl FnMut(usize, Verdict),
+    ) -> cheetah_switch::Result<()> {
+        let stats = &mut self.stats;
+        let epoch = &mut self.epoch;
+        self.program.process_run(fid, entries, |i, verdict| {
+            // The pipeline manages register epochs internally for runs;
+            // keep the wrapper's counter in step so interleaved
+            // per-entry offers never reuse an epoch.
+            *epoch += 1;
+            stats.record(verdict);
+            sink(i, verdict);
+        })
+    }
+}
+
 /// An idealized streaming algorithm with unbounded memory — the `OPT` curve
 /// in Figures 10 and 11. `OPT` is an upper bound on the pruning rate of
 /// *any* switch algorithm: it forwards an entry only if a resource-free

@@ -144,24 +144,29 @@ where
     O: PruningOperator<Tables<'a>, Encoded, Output = QueryOutput>,
 {
     let parts = tables.stream(stream)?.partitions();
+    let encode_part =
+        |pi: usize, p: &crate::table::Partition| -> cheetah_core::Result<(Vec<Encoded>, f64)> {
+            let t0 = Instant::now();
+            let mut out = Vec::with_capacity(p.rows());
+            let mut slots = Vec::with_capacity(Encoded::MAX_SLOTS);
+            for r in 0..p.rows() {
+                slots.clear();
+                op.encode(tables, stream, pi, r, &mut slots);
+                out.push(Encoded::new(pi, r, &slots)?);
+            }
+            Ok((out, t0.elapsed().as_secs_f64()))
+        };
+    // A single-partition stream (every routed shard slice, most small
+    // tables) serializes inline: one worker means the thread would add
+    // spawn/join latency without any parallelism to show for it.
+    if parts.len() == 1 {
+        let (entries, secs) = encode_part(0, &parts[0])?;
+        return Ok((vec![entries], secs));
+    }
+    let encode_part = &encode_part;
     let results: Vec<cheetah_core::Result<(Vec<Encoded>, f64)>> = std::thread::scope(|sc| {
-        let handles: Vec<_> = parts
-            .iter()
-            .enumerate()
-            .map(|(pi, p)| {
-                sc.spawn(move || {
-                    let t0 = Instant::now();
-                    let mut out = Vec::with_capacity(p.rows());
-                    let mut slots = Vec::with_capacity(Encoded::MAX_SLOTS);
-                    for r in 0..p.rows() {
-                        slots.clear();
-                        op.encode(tables, stream, pi, r, &mut slots);
-                        out.push(Encoded::new(pi, r, &slots)?);
-                    }
-                    Ok((out, t0.elapsed().as_secs_f64()))
-                })
-            })
-            .collect();
+        let handles: Vec<_> =
+            parts.iter().enumerate().map(|(pi, p)| sc.spawn(move || encode_part(pi, p))).collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
     let mut stream_out = Vec::with_capacity(results.len());
@@ -191,15 +196,20 @@ where
     let mut extra_worker = 0.0;
 
     // Offer every entry of stream `s`, collecting forwarded entries.
+    // The runs go through `offer_run`, which hoists the flow dispatch
+    // out of the inner loop — one slot lookup per partition, not one
+    // per entry.
     let collect = |pruner: &mut StandalonePruner<Pipeline>,
                    s: usize,
                    out: &mut Vec<Encoded>|
      -> cheetah_core::Result<()> {
         let fid = op.flow_id(s);
-        for e in streams[s].iter().flatten() {
-            if pruner.offer_for_fid(fid, e.values())? == Verdict::Forward {
-                out.push(*e);
-            }
+        for part in &streams[s] {
+            pruner.offer_run(fid, part.iter().map(Encoded::values), |i, v| {
+                if v == Verdict::Forward {
+                    out.push(part[i]);
+                }
+            })?;
         }
         Ok(())
     };
@@ -214,8 +224,8 @@ where
             // Pass 1: build filters (stream consumed at the switch).
             for (s, stream) in streams.iter().enumerate() {
                 let fid = op.flow_id(s);
-                for e in stream.iter().flatten() {
-                    pruner.offer_for_fid(fid, e.values())?;
+                for part in stream {
+                    pruner.offer_run(fid, part.iter().map(Encoded::values), |_, _| {})?;
                 }
             }
             pruner.program_mut().control(program, &ControlMsg::SetPhase(2))?;
@@ -247,9 +257,15 @@ where
             // Pass 1: sketch + candidate announcements.
             let fid = op.flow_id(0);
             let mut candidates: HashSet<u64> = HashSet::new();
-            for e in streams[0].iter().flatten() {
-                if pruner.offer_for_fid(fid, e.values())? == Verdict::Forward {
-                    candidates.insert(key_of(e)?);
+            for part in &streams[0] {
+                let mut announced: Vec<usize> = Vec::new();
+                pruner.offer_run(fid, part.iter().map(Encoded::values), |i, v| {
+                    if v == Verdict::Forward {
+                        announced.push(i);
+                    }
+                })?;
+                for i in announced {
+                    candidates.insert(key_of(&part[i])?);
                 }
             }
             // Pass 2 (partial): workers re-stream only the announced keys;

@@ -58,6 +58,6 @@ pub use expr::{DbPredicate, IntCmp, LikePattern};
 pub use master::{decompose_output, merge_shard_outputs, MasterIngestModel, MergeItem, MergeState};
 pub use planner::{fixed_sharder, routing_keys, Calibration, PlannerConfig, ShardPlanner};
 pub use query::{DbQuery, QueryOutput};
-pub use sharded::{route_range, ShardSpec, ShardStats, ShardedRun};
+pub use sharded::{finish_sharded, route_range, ShardSpec, ShardStats, ShardedRun};
 pub use table::{Column, Partition, Table, TableBuilder};
 pub use value::{DataType, Value};

@@ -48,7 +48,7 @@ pub use cheetah_net::MasterIngestModel;
 use crate::ops;
 use crate::query::{DbQuery, QueryOutput};
 use crate::value::Value;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use cheetah_net::WireError;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -98,6 +98,15 @@ impl MergeItem {
     /// [`SurvivorBatch`](cheetah_net::SurvivorBatch) frame.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(16);
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Serialize by appending to `b` — the allocation-free sibling of
+    /// [`encode`](MergeItem::encode) that the streamed runtime uses to
+    /// write items straight into a frame's shared arena
+    /// ([`FrameBuilder::push_with`](cheetah_net::FrameBuilder::push_with)).
+    pub fn encode_into(&self, b: &mut BytesMut) {
         match self {
             MergeItem::Count(c) => {
                 b.put_u8(ITEM_COUNT);
@@ -109,7 +118,7 @@ impl MergeItem {
             }
             MergeItem::Value(Value::Str(s)) => {
                 b.put_u8(ITEM_VALUE_STR);
-                put_str(&mut b, s);
+                put_str(b, s);
             }
             MergeItem::Top(v) => {
                 b.put_u8(ITEM_TOP);
@@ -129,49 +138,50 @@ impl MergeItem {
             }
             MergeItem::Keyed(Value::Str(k), v) => {
                 b.put_u8(ITEM_KEYED_STR);
-                put_str(&mut b, k);
+                put_str(b, k);
                 b.put_u64(*v as u64);
             }
         }
-        b.freeze()
     }
 
     /// Parse an item payload back; defensive like the wire formats —
     /// malformed payloads are typed [`WireError`]s, never panics.
-    pub fn decode(mut buf: Bytes) -> Result<MergeItem, WireError> {
-        if buf.is_empty() {
-            return Err(WireError::Truncated);
-        }
-        let tag = buf.get_u8();
+    pub fn decode(buf: Bytes) -> Result<MergeItem, WireError> {
+        Self::decode_slice(&buf)
+    }
+
+    /// [`decode`](MergeItem::decode) over a borrowed slice — the master
+    /// merge plane reads items directly out of a columnar frame's arena
+    /// without materializing per-item buffers.
+    pub fn decode_slice(buf: &[u8]) -> Result<MergeItem, WireError> {
+        let mut buf = buf;
+        let tag = take_u8(&mut buf)?;
         let item = match tag {
-            ITEM_COUNT => MergeItem::Count(get_u64(&mut buf)?),
-            ITEM_VALUE_INT => MergeItem::Value(Value::Int(get_u64(&mut buf)? as i64)),
-            ITEM_VALUE_STR => MergeItem::Value(Value::Str(get_str(&mut buf)?)),
-            ITEM_TOP => MergeItem::Top(get_u64(&mut buf)? as i64),
+            ITEM_COUNT => MergeItem::Count(take_u64(&mut buf)?),
+            ITEM_VALUE_INT => MergeItem::Value(Value::Int(take_u64(&mut buf)? as i64)),
+            ITEM_VALUE_STR => MergeItem::Value(Value::Str(take_str(&mut buf)?)),
+            ITEM_TOP => MergeItem::Top(take_u64(&mut buf)? as i64),
             ITEM_POINT => {
-                if buf.remaining() < 2 {
-                    return Err(WireError::Truncated);
-                }
-                let dims = buf.get_u16() as usize;
-                let mut p = Vec::with_capacity(dims);
+                let dims = take_u16(&mut buf)? as usize;
+                let mut p = Vec::with_capacity(dims.min(64));
                 for _ in 0..dims {
-                    p.push(get_u64(&mut buf)? as i64);
+                    p.push(take_u64(&mut buf)? as i64);
                 }
                 MergeItem::Point(p)
             }
             ITEM_KEYED_INT => {
-                let k = get_u64(&mut buf)? as i64;
-                MergeItem::Keyed(Value::Int(k), get_u64(&mut buf)? as i64)
+                let k = take_u64(&mut buf)? as i64;
+                MergeItem::Keyed(Value::Int(k), take_u64(&mut buf)? as i64)
             }
             ITEM_KEYED_STR => {
-                let k = get_str(&mut buf)?;
-                MergeItem::Keyed(Value::Str(k), get_u64(&mut buf)? as i64)
+                let k = take_str(&mut buf)?;
+                MergeItem::Keyed(Value::Str(k), take_u64(&mut buf)? as i64)
             }
             other => return Err(WireError::BadType(other)),
         };
         // A complete item consumes its payload exactly; trailing bytes
         // mean the encoder and decoder disagree about the shape.
-        if buf.remaining() != 0 {
+        if !buf.is_empty() {
             return Err(WireError::BadPayload);
         }
         Ok(item)
@@ -183,24 +193,43 @@ fn put_str(b: &mut BytesMut, s: &str) {
     b.put_slice(s.as_bytes());
 }
 
-fn get_u64(buf: &mut Bytes) -> Result<u64, WireError> {
-    if buf.remaining() < 8 {
-        return Err(WireError::Truncated);
-    }
-    Ok(buf.get_u64())
+fn take_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    let (&v, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+    *buf = rest;
+    Ok(v)
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
-    if buf.remaining() < 4 {
+fn take_u16(buf: &mut &[u8]) -> Result<u16, WireError> {
+    if buf.len() < 2 {
         return Err(WireError::Truncated);
     }
-    let len = buf.get_u32() as usize;
-    if buf.remaining() < len {
+    let (h, rest) = buf.split_at(2);
+    *buf = rest;
+    Ok(u16::from_be_bytes([h[0], h[1]]))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.len() < 8 {
         return Err(WireError::Truncated);
     }
-    let s = String::from_utf8(buf.slice(0..len).to_vec()).map_err(|_| WireError::BadPayload)?;
-    buf.advance(len);
-    Ok(s)
+    let (h, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(u64::from_be_bytes(h.try_into().expect("8-byte split")))
+}
+
+fn take_str(buf: &mut &[u8]) -> Result<String, WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let (h, rest) = buf.split_at(4);
+    let len = u32::from_be_bytes([h[0], h[1], h[2], h[3]]) as usize;
+    if rest.len() < len {
+        return Err(WireError::Truncated);
+    }
+    let (s, tail) = rest.split_at(len);
+    let s = std::str::from_utf8(s).map_err(|_| WireError::BadPayload)?;
+    *buf = tail;
+    Ok(s.to_string())
 }
 
 /// Decompose one shard's completed output into its [`MergeItem`]s. The
@@ -320,6 +349,24 @@ impl MergeState {
             self.ingest(item);
         }
         self.compact();
+    }
+
+    /// Fold a whole batch of *encoded* items, reading each straight out
+    /// of a borrowed slice ([`MergeItem::decode_slice`]) — the zero-copy
+    /// path the streamed runtime drives with the item windows of a
+    /// columnar [`SurvivorBatch`](cheetah_net::SurvivorBatch). Compacts
+    /// once at the end, like [`ingest_batch`](MergeState::ingest_batch);
+    /// a malformed item is a typed [`WireError`], with the items before
+    /// it already folded (the caller abandons the run, not the state).
+    pub fn ingest_slices<'a>(
+        &mut self,
+        slices: impl IntoIterator<Item = &'a [u8]>,
+    ) -> Result<(), WireError> {
+        for s in slices {
+            self.ingest(MergeItem::decode_slice(s)?);
+        }
+        self.compact();
+        Ok(())
     }
 
     /// Items folded so far.
@@ -497,6 +544,41 @@ mod tests {
         let mut trailing = MergeItem::Top(9).encode().to_vec();
         trailing.push(0);
         assert_eq!(MergeItem::decode(Bytes::from(trailing)), Err(WireError::BadPayload));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_slices_fold_like_items() {
+        let items = vec![
+            MergeItem::Count(7),
+            MergeItem::Value(Value::Str("agent-λ".into())),
+            MergeItem::Top(-3),
+            MergeItem::Point(vec![1, 2, 3]),
+            MergeItem::Keyed(Value::Str("k".into()), 9),
+        ];
+        // One shared arena, encoded once…
+        let mut arena = BytesMut::with_capacity(64);
+        let mut ends = Vec::new();
+        for item in &items {
+            item.encode_into(&mut arena);
+            ends.push(arena.len());
+        }
+        // …must contain exactly the per-item encodings back to back.
+        let concat: Vec<u8> = items.iter().flat_map(|i| i.encode().to_vec()).collect();
+        assert_eq!(&arena[..], &concat[..]);
+        // Folding the slices equals folding the decoded items.
+        let q = DbQuery::TopN { order_col: 0, n: 2 };
+        let tops = [MergeItem::Top(5), MergeItem::Top(9), MergeItem::Top(1)];
+        let mut by_item = MergeState::new(&q);
+        by_item.ingest_batch(tops.iter().cloned());
+        let mut by_slice = MergeState::new(&q);
+        let encoded: Vec<Bytes> = tops.iter().map(MergeItem::encode).collect();
+        by_slice.ingest_slices(encoded.iter().map(|b| &b[..])).expect("valid slices");
+        assert_eq!(by_slice.ingested(), 3);
+        assert_eq!(by_item.finish(), by_slice.finish());
+        // A malformed slice surfaces as a typed error, not a panic.
+        let mut st = MergeState::new(&q);
+        assert_eq!(st.ingest_slices([&[][..]]), Err(WireError::Truncated));
+        assert_eq!(st.ingest_slices([&[99u8][..]]), Err(WireError::BadType(99)));
     }
 
     #[test]

@@ -496,7 +496,7 @@ impl Cluster {
         let plan = planner.plan_from_keys(&slices, seed);
         let sharder = plan.sharder.clone();
         let decision = PlanDecision::Planned(plan.report.partitioner);
-        self.run_routed(
+        self.run_cheetah_routed(
             q,
             left,
             right,

@@ -29,7 +29,8 @@ use crate::engine::{CheetahRun, Cluster};
 use crate::master::merge_shard_outputs;
 use crate::planner::{fixed_sharder, routing_keys};
 use crate::query::{DbQuery, QueryOutput};
-use crate::table::{Table, TableBuilder};
+use crate::table::{Column, Partition, Table};
+use crate::value::DataType;
 use cheetah_core::plan::{PlanDecision, ShardPlan};
 use cheetah_core::{ShardPartitioner, Sharder};
 use cheetah_net::{ExecBreakdown, MasterIngestModel};
@@ -120,20 +121,49 @@ pub fn route_range(
     lo: usize,
     hi: usize,
 ) -> Vec<Table> {
-    // `+ 1` keeps the builder's automatic partition cadence unreachable:
-    // every sub-table is exactly one partition.
-    let cap = hi.saturating_sub(lo) + 1;
-    let mut builders: Vec<TableBuilder> = (0..sharder.shards())
-        .map(|_| TableBuilder::new(table.name(), table.fields().to_vec(), cap))
-        .collect();
+    let shards = sharder.shards();
+    let empty_cols = || -> Vec<Column> {
+        table
+            .fields()
+            .iter()
+            .map(|(_, t)| match t {
+                DataType::Int => Column::Int(Vec::new()),
+                DataType::Str => Column::Str(Vec::new()),
+            })
+            .collect()
+    };
+    let mut out: Vec<Vec<Column>> = (0..shards).map(|_| empty_cols()).collect();
+    // Scratch: local row indices per shard, recomputed per partition. Rows
+    // move column-at-a-time — one type dispatch per (shard, column) instead
+    // of one boxed `Value` per cell, which is what the old row builder paid.
+    let mut picks: Vec<Vec<u32>> = vec![Vec::new(); shards];
     let mut base = 0usize;
     for p in table.partitions() {
         let rows = p.rows();
         if base + rows > lo && base < hi {
             let from = lo.saturating_sub(base);
             let to = rows.min(hi - base);
+            for list in &mut picks {
+                list.clear();
+            }
             for r in from..to {
-                builders[sharder.shard_of(keys[base + r])].push_row(p.row(r));
+                picks[sharder.shard_of(keys[base + r])].push(r as u32);
+            }
+            for (s, list) in picks.iter().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                for (c, dst_col) in out[s].iter_mut().enumerate() {
+                    match (dst_col, p.column(c)) {
+                        (Column::Int(dst), Column::Int(src)) => {
+                            dst.extend(list.iter().map(|&r| src[r as usize]));
+                        }
+                        (Column::Str(dst), Column::Str(src)) => {
+                            dst.extend(list.iter().map(|&r| src[r as usize].clone()));
+                        }
+                        _ => unreachable!("partition column type drifted from the schema"),
+                    }
+                }
             }
         }
         base += rows;
@@ -141,7 +171,11 @@ pub fn route_range(
             break;
         }
     }
-    builders.into_iter().map(TableBuilder::build).collect()
+    out.into_iter()
+        .map(|cols| {
+            Table::from_partition(table.name(), table.fields().to_vec(), Partition::new(cols))
+        })
+        .collect()
 }
 
 /// Split the whole `table` into shard tables — the barrier paths' single
@@ -170,7 +204,7 @@ impl Cluster {
         let key_slices: Vec<&[u64]> =
             std::iter::once(left_keys.as_slice()).chain(right_keys.as_deref()).collect();
         let sharder = fixed_sharder(spec, seed, &key_slices);
-        self.run_routed(
+        self.run_cheetah_routed(
             q,
             left,
             right,
@@ -186,8 +220,13 @@ impl Cluster {
     /// The shared sharded dataflow behind both the fixed-spec and the
     /// planned entry points: split by precomputed routing keys, run the
     /// generic executor per shard, merge at the master, account.
+    ///
+    /// Public so callers that already hold routing keys and a fitted
+    /// sharder (the perf-smoke harness, the runtime's pooled barrier
+    /// path) can time *execution* without re-paying key derivation and
+    /// sharder fitting per run.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn run_routed(
+    pub fn run_cheetah_routed(
         &self,
         q: &DbQuery,
         left: &Table,
@@ -203,6 +242,12 @@ impl Cluster {
         let left_shards = split_stream(left, left_keys, sharder);
         let right_shards =
             right.map(|r| split_stream(r, right_keys.expect("keys computed"), sharder));
+        let rows_per_shard: Vec<u64> = (0..shards)
+            .map(|s| {
+                left_shards[s].rows() as u64
+                    + right_shards.as_ref().map_or(0, |v| v[s].rows() as u64)
+            })
+            .collect();
 
         // One scoped worker per shard; each runs the unchanged generic
         // executor over its slice, planning its own Pipeline instance.
@@ -217,57 +262,76 @@ impl Cluster {
             handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
         });
         let runs: Vec<CheetahRun> = results.into_iter().collect::<cheetah_core::Result<_>>()?;
-
-        let per_shard: Vec<ShardStats> = runs
-            .iter()
-            .enumerate()
-            .map(|(s, run)| ShardStats {
-                rows: left_shards[s].rows() as u64
-                    + right_shards.as_ref().map_or(0, |v| v[s].rows() as u64),
-                worker_seconds: run.breakdown.worker_seconds,
-                master_seconds: run.breakdown.master_seconds,
-                worker_wire_bytes: run.breakdown.worker_wire_bytes,
-                master_wire_bytes: run.breakdown.master_wire_bytes,
-                entries_to_master: run.breakdown.entries_to_master,
-                seen: run.switch_stats.seen,
-                pruned: run.switch_stats.pruned,
-            })
-            .collect();
-        let entries_per_shard: Vec<u64> = per_shard.iter().map(|s| s.entries_to_master).collect();
-        let switch_stats = runs.iter().fold(ProgramStats::default(), |mut acc, r| {
-            acc.seen += r.switch_stats.seen;
-            acc.pruned += r.switch_stats.pruned;
-            acc.forwarded += r.switch_stats.forwarded;
-            acc
-        });
-        let passes = runs.iter().map(|r| r.breakdown.passes).max().unwrap_or(1);
-        let rules = runs.iter().map(|r| r.rules).max().unwrap_or(0);
-
-        // Master: merge the shard outputs. Stats are extracted above so
-        // the outputs move into the merge — the timed window is the
-        // re-prune/key-union work alone, not avoidable clones.
-        let outputs: Vec<QueryOutput> = runs.into_iter().map(|r| r.output).collect();
-        let t0 = Instant::now();
-        let output = merge_shard_outputs(q, outputs);
-        let merge_seconds = t0.elapsed().as_secs_f64();
-
-        let breakdown = ExecBreakdown {
-            // Shard workers run concurrently: the slowest bounds the phase.
-            worker_seconds: per_shard.iter().map(|s| s.worker_seconds).fold(0.0, f64::max),
-            // The master is one machine: shard completions + merge add up.
-            master_seconds: per_shard.iter().map(|s| s.master_seconds).sum::<f64>() + merge_seconds,
-            worker_wire_bytes: per_shard.iter().map(|s| s.worker_wire_bytes).max().unwrap_or(0),
-            master_wire_bytes: per_shard.iter().map(|s| s.master_wire_bytes).sum(),
-            entries_to_master: entries_per_shard.iter().sum(),
-            passes,
-            shards: shards as u32,
-            master_ingest_seconds: ingest.blocking_latency_sharded(&entries_per_shard),
-            plan: Some(decision),
-            overlap_seconds: 0.0,
-            replans: 0,
-        };
-        Ok(ShardedRun { output, breakdown, switch_stats, per_shard, merge_seconds, rules, plan })
+        Ok(finish_sharded(q, runs, &rows_per_shard, ingest, decision, plan))
     }
+}
+
+/// Merge and account a set of per-shard executor runs into a
+/// [`ShardedRun`] — the master-side tail of every barrier dataflow.
+/// `rows_per_shard[s]` is the rows routed to shard `s` (left + right
+/// stream); `runs[s]` is that shard's completed executor run.
+///
+/// Public so the runtime's pooled barrier twin reuses exactly this
+/// accounting: however the per-shard runs were executed (scoped threads
+/// here, leased pool workers there), the merge semantics and the phase
+/// arithmetic must stay one implementation.
+pub fn finish_sharded(
+    q: &DbQuery,
+    runs: Vec<CheetahRun>,
+    rows_per_shard: &[u64],
+    ingest: &MasterIngestModel,
+    decision: PlanDecision,
+    plan: Option<ShardPlan>,
+) -> ShardedRun {
+    assert_eq!(runs.len(), rows_per_shard.len(), "one row count per shard run");
+    let per_shard: Vec<ShardStats> = runs
+        .iter()
+        .zip(rows_per_shard)
+        .map(|(run, &rows)| ShardStats {
+            rows,
+            worker_seconds: run.breakdown.worker_seconds,
+            master_seconds: run.breakdown.master_seconds,
+            worker_wire_bytes: run.breakdown.worker_wire_bytes,
+            master_wire_bytes: run.breakdown.master_wire_bytes,
+            entries_to_master: run.breakdown.entries_to_master,
+            seen: run.switch_stats.seen,
+            pruned: run.switch_stats.pruned,
+        })
+        .collect();
+    let entries_per_shard: Vec<u64> = per_shard.iter().map(|s| s.entries_to_master).collect();
+    let switch_stats = runs.iter().fold(ProgramStats::default(), |mut acc, r| {
+        acc.seen += r.switch_stats.seen;
+        acc.pruned += r.switch_stats.pruned;
+        acc.forwarded += r.switch_stats.forwarded;
+        acc
+    });
+    let passes = runs.iter().map(|r| r.breakdown.passes).max().unwrap_or(1);
+    let rules = runs.iter().map(|r| r.rules).max().unwrap_or(0);
+
+    // Master: merge the shard outputs. Stats are extracted above so
+    // the outputs move into the merge — the timed window is the
+    // re-prune/key-union work alone, not avoidable clones.
+    let outputs: Vec<QueryOutput> = runs.into_iter().map(|r| r.output).collect();
+    let t0 = Instant::now();
+    let output = merge_shard_outputs(q, outputs);
+    let merge_seconds = t0.elapsed().as_secs_f64();
+
+    let breakdown = ExecBreakdown {
+        // Shard workers run concurrently: the slowest bounds the phase.
+        worker_seconds: per_shard.iter().map(|s| s.worker_seconds).fold(0.0, f64::max),
+        // The master is one machine: shard completions + merge add up.
+        master_seconds: per_shard.iter().map(|s| s.master_seconds).sum::<f64>() + merge_seconds,
+        worker_wire_bytes: per_shard.iter().map(|s| s.worker_wire_bytes).max().unwrap_or(0),
+        master_wire_bytes: per_shard.iter().map(|s| s.master_wire_bytes).sum(),
+        entries_to_master: entries_per_shard.iter().sum(),
+        passes,
+        shards: rows_per_shard.len() as u32,
+        master_ingest_seconds: ingest.blocking_latency_sharded(&entries_per_shard),
+        plan: Some(decision),
+        overlap_seconds: 0.0,
+        replans: 0,
+    };
+    ShardedRun { output, breakdown, switch_stats, per_shard, merge_seconds, rules, plan }
 }
 
 #[cfg(test)]

@@ -149,6 +149,21 @@ impl Table {
         self.partitions[partition].row(row)
     }
 
+    /// Build a table from one ready-made partition. The routing fast path
+    /// assembles shard slices column-wise and hands them over whole, so it
+    /// never pays the row builder's per-cell [`Value`] boxing.
+    pub fn from_partition(
+        name: impl Into<String>,
+        fields: Vec<(String, DataType)>,
+        partition: Partition,
+    ) -> Self {
+        assert_eq!(partition.width(), fields.len(), "partition arity mismatch");
+        for ((name, ty), col) in fields.iter().zip(&partition.columns) {
+            assert_eq!(col.data_type(), *ty, "column {name} does not match its declared type");
+        }
+        Table { name: name.into(), fields, partitions: vec![partition] }
+    }
+
     /// Re-split the same rows into `n` balanced partitions (Figure 6
     /// varies the partition count over a fixed dataset).
     pub fn repartition(&self, n: usize) -> Table {

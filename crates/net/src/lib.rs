@@ -21,8 +21,9 @@
 //!   §4.6's shard fan-in (concurrent survivor streams sharing the master
 //!   downlink);
 //! * [`stream`] — the survivor-batch frame the streamed shard runtime
-//!   moves between workers and the master merge plane (length-delimited
-//!   opaque merge units, checksummed like every other Cheetah frame).
+//!   moves between workers and the master merge plane (a columnar arena
+//!   of opaque merge units plus an offset column, one checksum per
+//!   frame, parsed zero-copy).
 //!
 //! Not modelled: real sockets/DPDK (everything is simulated time), IP
 //! fragmentation, and congestion control (the paper's channel is a
@@ -43,6 +44,6 @@ pub use channel::{FaultProfile, Link, LinkOutcome, SimRng, SimTime};
 pub use ingest::MasterIngestModel;
 pub use model::{Encoded, ExecBreakdown, ENTRY_WIRE_BYTES};
 pub use reliability::{MasterFlow, SwitchAction, SwitchFlow, WorkerFlow};
-pub use stream::{SurvivorBatch, MAX_BATCH_ITEMS};
+pub use stream::{emit_batch, FrameBuilder, SurvivorBatch, MAX_BATCH_ITEMS};
 pub use transfer::{TransferConfig, TransferReport, TransferSim};
 pub use wire::{AckPacket, AckSource, DataPacket, Packet, WireError, MAX_VALUES};

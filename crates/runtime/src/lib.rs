@@ -74,9 +74,11 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod pool;
 pub mod runtime;
 pub mod supervisor;
 
 pub use config::{ShardLayout, StreamSpec};
-pub use runtime::{StreamedExecution, StreamedRun};
+pub use pool::{PooledExecution, WorkerPool, WorkerScratch};
+pub use runtime::{StreamLayout, StreamedExecution, StreamedRun};
 pub use supervisor::{ReplanEvent, RuntimeSupervisor};

@@ -1,36 +1,45 @@
-//! The streamed dataflow: router → shard workers → incremental merge.
+//! The streamed dataflow: router → pooled shard workers → incremental
+//! merge.
 //!
-//! Three kinds of thread share one `std::thread::scope`:
+//! Three roles share the run:
 //!
-//! * the **router** walks the input in rounds, routes each round's rows
-//!   by the current [`Sharder`](cheetah_core::Sharder) into per-shard
-//!   sub-tables ([`route_range`], shared with the barrier twins),
-//!   dispatches them as work units, and lets the [`RuntimeSupervisor`]
-//!   re-fit the boundaries between rounds;
-//! * one **worker** per shard runs the unchanged generic executor on
-//!   each unit, decomposes the completed slice into
-//!   [`MergeItem`]s, and streams them as framed [`SurvivorBatch`]es over
-//!   a *bounded* channel (a full channel blocks the worker — the
-//!   backpressure that stands in for sender pacing);
-//! * the **master merge plane** (the calling thread) parses frames and
-//!   folds them into a [`MergeState`] as they arrive, instead of waiting
-//!   for a join barrier.
+//! * the **router** (the calling thread, before the merge plane starts)
+//!   walks the input in rounds, routes each round's rows by the current
+//!   [`Sharder`](cheetah_core::Sharder) into per-shard sub-tables
+//!   ([`route_range`], shared with the barrier twins), dispatches them
+//!   as work units over *unbounded* channels (so routing never blocks
+//!   behind a slow worker), and lets the [`RuntimeSupervisor`] re-fit
+//!   the boundaries between rounds;
+//! * one **worker job** per shard — submitted to the persistent
+//!   [`WorkerPool`], not spawned per query — runs
+//!   the unchanged generic executor on each unit, encodes the survivors
+//!   straight into its worker-resident
+//!   [`FrameBuilder`](cheetah_net::FrameBuilder) arena, and
+//!   streams the finished [`SurvivorBatch`] frames over a *bounded*
+//!   channel (a full channel blocks the worker — the backpressure that
+//!   stands in for sender pacing);
+//! * the **master merge plane** (the calling thread again, once routing
+//!   is done) parses frames zero-copy and folds the survivor slices
+//!   into a [`MergeState`] as they arrive — no per-item re-decode into
+//!   owned `MergeItem`s, no join barrier.
 //!
 //! Every timestamp is taken against one run-local epoch so the overlap —
 //! merge work performed while the slowest worker was still computing —
 //! can be read directly out of the event log afterwards.
 
 use crate::config::{ShardLayout, StreamSpec};
+use crate::pool::WorkerPool;
 use crate::supervisor::{ReplanEvent, RuntimeSupervisor};
 use bytes::Bytes;
 use cheetah_core::plan::{PlanDecision, ShardPlan};
 use cheetah_db::{
-    decompose_output, fixed_sharder, route_range, routing_keys, Cluster, DbQuery, MergeItem,
-    MergeState, QueryOutput, ShardStats, Table, TableBuilder,
+    decompose_output, fixed_sharder, route_range, routing_keys, Cluster, DbQuery, MergeState,
+    QueryOutput, ShardStats, Table,
 };
 use cheetah_net::{ExecBreakdown, MasterIngestModel, SurvivorBatch, MAX_BATCH_ITEMS};
 use cheetah_switch::ProgramStats;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Result of a streamed Cheetah execution — the streaming sibling of
@@ -88,12 +97,87 @@ pub trait StreamedExecution {
         right: Option<&Table>,
         spec: &StreamSpec,
     ) -> cheetah_core::Result<StreamedRun>;
+
+    /// Derive everything layout-shaped about a streamed run — routing
+    /// keys, the fitted sharder, and the per-round, per-shard input
+    /// slices — without executing it. The returned [`StreamLayout`] is
+    /// the streaming analogue of pre-routed resident data: build it once
+    /// at ingest time, run [`run_cheetah_streamed_resident`] against it
+    /// as often as you like.
+    ///
+    /// [`run_cheetah_streamed_resident`]: StreamedExecution::run_cheetah_streamed_resident
+    fn plan_stream(
+        &self,
+        q: &DbQuery,
+        left: &Table,
+        right: Option<&Table>,
+        spec: &StreamSpec,
+    ) -> StreamLayout;
+
+    /// The resident-data streamed twin: workers stream their
+    /// already-routed slices (`Arc` handles out of a [`StreamLayout`])
+    /// through the same pooled prune → frame → incremental-merge plane
+    /// as [`run_cheetah_streamed`]. No keys are derived, no rows are
+    /// cloned, no supervisor runs — the layout is fixed by construction,
+    /// so there is nothing to re-fit mid-run. Output is identical to the
+    /// routing twin's when no mid-run re-plan fired there.
+    ///
+    /// [`run_cheetah_streamed`]: StreamedExecution::run_cheetah_streamed
+    fn run_cheetah_streamed_resident(
+        &self,
+        q: &DbQuery,
+        layout: &StreamLayout,
+    ) -> cheetah_core::Result<StreamedRun>;
 }
 
-/// One routed slice of one shard's input for one round.
+/// A fully-routed streamed input layout: which rows of which round land
+/// on which shard, plus the spec-derived knobs the run needs
+/// (batch size, channel depth, ingest model, plan provenance).
+///
+/// Produced by [`StreamedExecution::plan_stream`]; consumed (repeatedly)
+/// by [`StreamedExecution::run_cheetah_streamed_resident`].
+#[derive(Clone)]
+pub struct StreamLayout {
+    /// `units[round][shard]` — the left-stream slice that shard prunes
+    /// in that round.
+    units: Vec<Vec<Arc<Table>>>,
+    /// Co-partitioned right stream (binary queries), dispatched with
+    /// round 0.
+    right_units: Option<Vec<Arc<Table>>>,
+    /// Rows routed per shard (authoritative, includes empty units).
+    dispatched: Vec<u64>,
+    shards: usize,
+    rounds: usize,
+    batch_size: usize,
+    channel_depth: usize,
+    ingest: MasterIngestModel,
+    decision: PlanDecision,
+    plan: Option<ShardPlan>,
+}
+
+impl StreamLayout {
+    /// Shard count of the layout.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Input rounds the dispatcher will walk.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Rows routed to each shard.
+    pub fn dispatched(&self) -> &[u64] {
+        &self.dispatched
+    }
+}
+
+/// One routed slice of one shard's input for one round. Units carry
+/// `Arc` handles so a resident layout can re-dispatch the same slices
+/// query after query without re-cloning a row.
 struct WorkUnit {
-    left: Table,
-    right: Option<Table>,
+    left: Arc<Table>,
+    right: Option<Arc<Table>>,
 }
 
 /// What a shard worker hands back when its unit stream closes.
@@ -111,6 +195,136 @@ struct WorkerReport {
 struct RouterReport {
     dispatched: Vec<u64>,
     events: Vec<ReplanEvent>,
+}
+
+/// The live channels of a spawned worker plane: one unit stream per
+/// shard in, survivor frames and end-of-stream reports out.
+struct WorkerPlane {
+    unit_txs: Vec<mpsc::Sender<WorkUnit>>,
+    batch_rx: mpsc::Receiver<Bytes>,
+    report_rx: mpsc::Receiver<(usize, cheetah_core::Result<WorkerReport>)>,
+}
+
+/// Submit one pool job per shard: each owns its unit stream plus cheap
+/// clones of the cluster config and query, prunes every unit through the
+/// unchanged generic executor, and frames the survivors out of its
+/// worker-resident arena straight onto the bounded batch channel.
+fn spawn_worker_plane(
+    cluster: &Cluster,
+    q: &DbQuery,
+    shards: usize,
+    batch_size: usize,
+    channel_depth: usize,
+    epoch: Instant,
+) -> WorkerPlane {
+    let (batch_tx, batch_rx) = mpsc::sync_channel::<Bytes>(channel_depth.max(1) * shards);
+    let (report_tx, report_rx) = mpsc::channel::<(usize, cheetah_core::Result<WorkerReport>)>();
+    let mut unit_txs = Vec::with_capacity(shards);
+    let pool = WorkerPool::global();
+    for shard in 0..shards {
+        let (unit_tx, unit_rx) = mpsc::channel::<WorkUnit>();
+        unit_txs.push(unit_tx);
+        let cluster = cluster.clone();
+        let q = q.clone();
+        let batch_tx = batch_tx.clone();
+        let report_tx = report_tx.clone();
+        pool.spawn(move |scratch| {
+            let mut rep = WorkerReport::default();
+            let mut seq = 0u64;
+            'units: for unit in unit_rx {
+                let run = match cluster.run_cheetah(&q, &unit.left, unit.right.as_deref()) {
+                    Ok(run) => run,
+                    Err(e) => {
+                        report_tx.send((shard, Err(e))).ok();
+                        return;
+                    }
+                };
+                rep.stats.rows +=
+                    unit.left.rows() as u64 + unit.right.as_ref().map_or(0, |r| r.rows() as u64);
+                rep.stats.worker_seconds += run.breakdown.worker_seconds;
+                rep.stats.master_seconds += run.breakdown.master_seconds;
+                rep.stats.worker_wire_bytes += run.breakdown.worker_wire_bytes;
+                rep.stats.master_wire_bytes += run.breakdown.master_wire_bytes;
+                rep.stats.entries_to_master += run.breakdown.entries_to_master;
+                rep.stats.seen += run.switch_stats.seen;
+                rep.stats.pruned += run.switch_stats.pruned;
+                rep.switch.seen += run.switch_stats.seen;
+                rep.switch.pruned += run.switch_stats.pruned;
+                rep.switch.forwarded += run.switch_stats.forwarded;
+                rep.passes = rep.passes.max(run.breakdown.passes);
+                rep.rules = rep.rules.max(run.rules);
+                let items = decompose_output(&q, run.output);
+                for chunk in items.chunks(batch_size) {
+                    // Encode each survivor once, straight into the
+                    // frame arena — no per-item Bytes round-trip.
+                    scratch.frames.begin(shard as u32, seq);
+                    for item in chunk {
+                        scratch.frames.push_with(|b| item.encode_into(b));
+                    }
+                    let frame = scratch.frames.finish();
+                    seq += 1;
+                    if batch_tx.send(frame).is_err() {
+                        // The merge plane hung up: pruning further
+                        // units is pure waste.
+                        break 'units;
+                    }
+                }
+            }
+            rep.finished_at = epoch.elapsed().as_secs_f64();
+            report_tx.send((shard, Ok(rep))).ok();
+        });
+    }
+    // The master's recv loops must end when the last worker does — the
+    // only live senders are the ones captured by the jobs.
+    WorkerPlane { unit_txs, batch_rx, report_rx }
+}
+
+/// The master merge plane: fold survivor slices as frames land, then
+/// collect the per-shard end-of-stream reports. The batch parses
+/// zero-copy (offsets into the frame's arena) and the merge folds each
+/// slice directly — decode work happens exactly once, here, per
+/// survivor. `unit_txs` must already be dropped (or the recv loop never
+/// ends).
+fn drain_merge_plane(
+    q: &DbQuery,
+    epoch: Instant,
+    plane: WorkerPlane,
+    router: RouterReport,
+    ctx: AssembleCtx,
+) -> cheetah_core::Result<StreamedRun> {
+    let WorkerPlane { unit_txs, batch_rx, report_rx } = plane;
+    debug_assert!(unit_txs.is_empty(), "dispatch must close the unit streams");
+    drop(unit_txs);
+    let shards = ctx.shards;
+    let mut state = MergeState::new(q);
+    let mut merge_events: Vec<(f64, f64)> = Vec::new();
+    let mut batches = 0u64;
+    let mut batch_wire_bytes = 0u64;
+    while let Ok(frame) = batch_rx.recv() {
+        let start = epoch.elapsed().as_secs_f64();
+        let batch = SurvivorBatch::parse(frame).expect("in-memory survivor frame round-trips");
+        batch_wire_bytes += batch.wire_bytes();
+        batches += 1;
+        state.ingest_slices(batch.items()).expect("merge item round-trips");
+        merge_events.push((start, epoch.elapsed().as_secs_f64() - start));
+    }
+    let finish_start = epoch.elapsed().as_secs_f64();
+    let output = state.finish();
+    let finish_seconds = epoch.elapsed().as_secs_f64() - finish_start;
+
+    // Every batch sender has dropped, so every job has finished (or
+    // errored): the reports are all in flight already.
+    let mut reports: Vec<Option<WorkerReport>> = (0..shards).map(|_| None).collect();
+    for _ in 0..shards {
+        let (shard, rep) = report_rx.recv().expect("shard worker panicked");
+        reports[shard] = Some(rep?);
+    }
+    let reports: Vec<WorkerReport> =
+        reports.into_iter().map(|r| r.expect("every shard reported")).collect();
+
+    let fold =
+        Fold { output, reports, router, merge_events, finish_seconds, batches, batch_wire_bytes };
+    Ok(assemble(fold, ctx))
 }
 
 impl StreamedExecution for Cluster {
@@ -150,159 +364,184 @@ impl StreamedExecution for Cluster {
         // executor runs; HAVING/JOIN take their whole shard slice at once.
         let rounds = if q.merge_routing_agnostic() { spec.rounds.max(1) } else { 1 };
 
-        let (batch_tx, batch_rx) = mpsc::sync_channel::<Bytes>(spec.channel_depth.max(1) * shards);
-        let mut unit_txs = Vec::with_capacity(shards);
-        let mut unit_rxs = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = mpsc::channel::<WorkUnit>();
-            unit_txs.push(tx);
-            unit_rxs.push(rx);
-        }
+        let mut plane = spawn_worker_plane(self, q, shards, batch_size, spec.channel_depth, epoch);
 
-        let fold = std::thread::scope(|sc| -> cheetah_core::Result<Fold> {
-            // Shard workers: prune each unit, stream the survivors.
-            let workers: Vec<_> = unit_rxs
-                .into_iter()
-                .enumerate()
-                .map(|(shard, rx)| {
-                    let batch_tx = batch_tx.clone();
-                    sc.spawn(move || -> cheetah_core::Result<WorkerReport> {
-                        let mut rep = WorkerReport::default();
-                        let mut seq = 0u64;
-                        'units: for unit in rx {
-                            let run = self.run_cheetah(q, &unit.left, unit.right.as_ref())?;
-                            rep.stats.rows += unit.left.rows() as u64
-                                + unit.right.as_ref().map_or(0, |r| r.rows() as u64);
-                            rep.stats.worker_seconds += run.breakdown.worker_seconds;
-                            rep.stats.master_seconds += run.breakdown.master_seconds;
-                            rep.stats.worker_wire_bytes += run.breakdown.worker_wire_bytes;
-                            rep.stats.master_wire_bytes += run.breakdown.master_wire_bytes;
-                            rep.stats.entries_to_master += run.breakdown.entries_to_master;
-                            rep.stats.seen += run.switch_stats.seen;
-                            rep.stats.pruned += run.switch_stats.pruned;
-                            rep.switch.seen += run.switch_stats.seen;
-                            rep.switch.pruned += run.switch_stats.pruned;
-                            rep.switch.forwarded += run.switch_stats.forwarded;
-                            rep.passes = rep.passes.max(run.breakdown.passes);
-                            rep.rules = rep.rules.max(run.rules);
-                            let items = decompose_output(q, run.output);
-                            for chunk in items.chunks(batch_size) {
-                                let frame = SurvivorBatch {
-                                    shard: shard as u32,
-                                    seq,
-                                    items: chunk.iter().map(MergeItem::encode).collect(),
-                                }
-                                .emit();
-                                seq += 1;
-                                if batch_tx.send(frame).is_err() {
-                                    // The merge plane hung up: pruning
-                                    // further units is pure waste.
-                                    break 'units;
-                                }
-                            }
-                        }
-                        rep.finished_at = epoch.elapsed().as_secs_f64();
-                        Ok(rep)
+        // Router, inline on the calling thread: rounds, dispatch,
+        // supervised re-fits. Unit channels are unbounded, so routing
+        // never blocks behind a busy worker — by the time the merge
+        // plane below starts draining, every unit is already dispatched
+        // and the re-plan decisions are identical to the concurrent
+        // router's (they read only the dispatch counters).
+        let router = {
+            let mut sharder = sharder0.clone();
+            let right_keys = right_keys.as_deref();
+            let mut supervisor =
+                RuntimeSupervisor::new(spec.imbalance_factor, spec.supervisor_sample, seed);
+            let mut dispatched = vec![0u64; shards];
+            let total = left.rows();
+            for round in 0..rounds {
+                let lo = round * total / rounds;
+                let hi = (round + 1) * total / rounds;
+                let left_slices = route_range(left, &left_keys, &sharder, lo, hi);
+                // The right stream of a binary query rides the single
+                // round, co-partitioned by the same sharder.
+                let right_slices: Option<Vec<Arc<Table>>> = (round == 0)
+                    .then(|| {
+                        right.map(|r| {
+                            route_range(
+                                r,
+                                right_keys.expect("keys computed"),
+                                &sharder,
+                                0,
+                                r.rows(),
+                            )
+                            .into_iter()
+                            .map(Arc::new)
+                            .collect()
+                        })
                     })
-                })
-                .collect();
-            // The master's recv loop must end when the last worker does.
-            drop(batch_tx);
-
-            // Router: rounds, dispatch, supervised re-fits.
-            let router = sc.spawn({
-                let mut sharder = sharder0.clone();
-                let left_keys = &left_keys;
-                let right_keys = right_keys.as_deref();
-                move || -> RouterReport {
-                    let mut supervisor =
-                        RuntimeSupervisor::new(spec.imbalance_factor, spec.supervisor_sample, seed);
-                    let mut dispatched = vec![0u64; shards];
-                    let total = left.rows();
-                    for round in 0..rounds {
-                        let lo = round * total / rounds;
-                        let hi = (round + 1) * total / rounds;
-                        let left_slices = route_range(left, left_keys, &sharder, lo, hi);
-                        // The right stream of a binary query rides the
-                        // single round, co-partitioned by the same sharder.
-                        let mut right_slices = (round == 0)
-                            .then(|| {
-                                right.map(|r| {
-                                    route_range(
-                                        r,
-                                        right_keys.expect("keys computed"),
-                                        &sharder,
-                                        0,
-                                        r.rows(),
-                                    )
-                                })
-                            })
-                            .flatten();
-                        for (shard, l) in left_slices.into_iter().enumerate() {
-                            let r = right_slices.as_mut().map(|v| {
-                                let placeholder = empty_like(&v[shard]);
-                                std::mem::replace(&mut v[shard], placeholder)
-                            });
-                            let unit_rows = l.rows() + r.as_ref().map_or(0, |t: &Table| t.rows());
-                            dispatched[shard] += unit_rows as u64;
-                            if unit_rows == 0 {
-                                continue;
-                            }
-                            unit_txs[shard].send(WorkUnit { left: l, right: r }).ok();
-                        }
-                        if spec.replan && round + 1 < rounds {
-                            if let Some(refit) =
-                                supervisor.consider(round, &dispatched, &left_keys[hi..], &sharder)
-                            {
-                                sharder = refit;
-                            }
-                        }
+                    .flatten();
+                for (shard, l) in left_slices.into_iter().enumerate() {
+                    let r = right_slices.as_ref().map(|v| Arc::clone(&v[shard]));
+                    let unit_rows = l.rows() + r.as_ref().map_or(0, |t| t.rows());
+                    dispatched[shard] += unit_rows as u64;
+                    if unit_rows == 0 {
+                        continue;
                     }
-                    drop(unit_txs);
-                    RouterReport { dispatched, events: supervisor.into_events() }
+                    plane.unit_txs[shard].send(WorkUnit { left: Arc::new(l), right: r }).ok();
                 }
-            });
-
-            // Master merge plane: fold survivor batches as they land.
-            let mut state = MergeState::new(q);
-            let mut merge_events: Vec<(f64, f64)> = Vec::new();
-            let mut batches = 0u64;
-            let mut batch_wire_bytes = 0u64;
-            while let Ok(frame) = batch_rx.recv() {
-                let start = epoch.elapsed().as_secs_f64();
-                let batch =
-                    SurvivorBatch::parse(frame).expect("in-memory survivor frame round-trips");
-                batch_wire_bytes += batch.wire_bytes();
-                batches += 1;
-                state.ingest_batch(
-                    batch
-                        .items
-                        .into_iter()
-                        .map(|i| MergeItem::decode(i).expect("merge item round-trips")),
-                );
-                merge_events.push((start, epoch.elapsed().as_secs_f64() - start));
+                if spec.replan && round + 1 < rounds {
+                    if let Some(refit) =
+                        supervisor.consider(round, &dispatched, &left_keys[hi..], &sharder)
+                    {
+                        sharder = refit;
+                    }
+                }
             }
-            let finish_start = epoch.elapsed().as_secs_f64();
-            let output = state.finish();
-            let finish_seconds = epoch.elapsed().as_secs_f64() - finish_start;
+            RouterReport { dispatched, events: supervisor.into_events() }
+        };
+        plane.unit_txs.clear();
 
-            let router = router.join().expect("router panicked");
-            let reports = workers
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect::<cheetah_core::Result<Vec<_>>>()?;
-            Ok(Fold {
-                output,
-                reports,
-                router,
-                merge_events,
-                finish_seconds,
-                batches,
-                batch_wire_bytes,
-            })
-        })?;
+        drain_merge_plane(
+            q,
+            epoch,
+            plane,
+            router,
+            AssembleCtx { ingest, plan, decision, shards, batch_size, rounds },
+        )
+    }
 
-        Ok(assemble(fold, AssembleCtx { ingest, plan, decision, shards, batch_size, rounds }))
+    fn plan_stream(
+        &self,
+        q: &DbQuery,
+        left: &Table,
+        right: Option<&Table>,
+        spec: &StreamSpec,
+    ) -> StreamLayout {
+        let seed = self.tuning.seed;
+        let left_keys = routing_keys(q, 0, left, seed);
+        let right_keys = right.map(|r| routing_keys(q, 1, r, seed));
+        let key_slices: Vec<&[u64]> =
+            std::iter::once(left_keys.as_slice()).chain(right_keys.as_deref()).collect();
+        let (sharder, ingest, plan, decision) = match &spec.layout {
+            ShardLayout::Fixed(s) => (
+                fixed_sharder(s, seed, &key_slices),
+                s.ingest,
+                None,
+                PlanDecision::Fixed(s.partitioner),
+            ),
+            ShardLayout::Planned(p) => {
+                let plan = p.plan_from_keys(&key_slices, seed);
+                let decision = PlanDecision::Planned(plan.report.partitioner);
+                (plan.sharder.clone(), p.cfg.ingest, Some(plan), decision)
+            }
+        };
+        let shards = sharder.shards();
+        let batch_size =
+            spec.batch.unwrap_or_else(|| ingest.suggested_batch(shards)).clamp(1, MAX_BATCH_ITEMS);
+        let rounds = if q.merge_routing_agnostic() { spec.rounds.max(1) } else { 1 };
+        let total = left.rows();
+        let mut dispatched = vec![0u64; shards];
+        let mut units = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            let lo = round * total / rounds;
+            let hi = (round + 1) * total / rounds;
+            let slices: Vec<Arc<Table>> =
+                route_range(left, &left_keys, &sharder, lo, hi).into_iter().map(Arc::new).collect();
+            for (shard, t) in slices.iter().enumerate() {
+                dispatched[shard] += t.rows() as u64;
+            }
+            units.push(slices);
+        }
+        let right_units: Option<Vec<Arc<Table>>> = right.map(|r| {
+            let slices: Vec<Arc<Table>> = route_range(
+                r,
+                right_keys.as_deref().expect("keys computed"),
+                &sharder,
+                0,
+                r.rows(),
+            )
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+            for (shard, t) in slices.iter().enumerate() {
+                dispatched[shard] += t.rows() as u64;
+            }
+            slices
+        });
+        StreamLayout {
+            units,
+            right_units,
+            dispatched,
+            shards,
+            rounds,
+            batch_size,
+            channel_depth: spec.channel_depth,
+            ingest,
+            decision,
+            plan,
+        }
+    }
+
+    fn run_cheetah_streamed_resident(
+        &self,
+        q: &DbQuery,
+        layout: &StreamLayout,
+    ) -> cheetah_core::Result<StreamedRun> {
+        let epoch = Instant::now();
+        let shards = layout.shards;
+        let mut plane =
+            spawn_worker_plane(self, q, shards, layout.batch_size, layout.channel_depth, epoch);
+        // Dispatch is `Arc` clones of resident slices — no routing, no
+        // row movement, no supervisor (a resident layout is fixed by
+        // construction, so there is nothing to re-fit mid-run).
+        for (round, slices) in layout.units.iter().enumerate() {
+            for (shard, l) in slices.iter().enumerate() {
+                let r = (round == 0)
+                    .then(|| layout.right_units.as_ref().map(|v| Arc::clone(&v[shard])))
+                    .flatten();
+                if l.rows() + r.as_ref().map_or(0, |t| t.rows()) == 0 {
+                    continue;
+                }
+                plane.unit_txs[shard].send(WorkUnit { left: Arc::clone(l), right: r }).ok();
+            }
+        }
+        plane.unit_txs.clear();
+        let router = RouterReport { dispatched: layout.dispatched.clone(), events: Vec::new() };
+        drain_merge_plane(
+            q,
+            epoch,
+            plane,
+            router,
+            AssembleCtx {
+                ingest: layout.ingest,
+                plan: layout.plan.clone(),
+                decision: layout.decision,
+                shards,
+                batch_size: layout.batch_size,
+                rounds: layout.rounds,
+            },
+        )
     }
 }
 
@@ -388,17 +627,11 @@ fn assemble(fold: Fold, ctx: AssembleCtx) -> StreamedRun {
     }
 }
 
-/// An empty table with `t`'s schema (placeholder when a shard's right
-/// slice is moved out of the round's vector).
-fn empty_like(t: &Table) -> Table {
-    TableBuilder::new(t.name(), t.fields().to_vec(), 1).build()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use cheetah_core::{ShardPartitioner, Sharder};
-    use cheetah_db::{DataType, DbPredicate, IntCmp, ShardSpec, Value};
+    use cheetah_db::{DataType, DbPredicate, IntCmp, ShardSpec, TableBuilder, Value};
 
     fn table(rows: usize, parts: usize) -> Table {
         let mut b = TableBuilder::new(
@@ -515,6 +748,44 @@ mod tests {
         assert_eq!(run.breakdown.shards as usize, plan.shards());
         assert!(run.breakdown.plan.expect("decision").is_planned());
         assert_eq!(run.output, cluster.run_baseline(&q, &t, None).output);
+    }
+
+    #[test]
+    fn resident_layout_matches_the_routing_twin_and_reuses_cleanly() {
+        let cluster = Cluster::default();
+        let t = table(2_000, 4);
+        let r = table(900, 2);
+        let queries: Vec<(DbQuery, Option<&Table>)> = vec![
+            (DbQuery::Distinct { col: 0 }, None),
+            (DbQuery::GroupByMax { key_col: 0, val_col: 1 }, None),
+            (DbQuery::Join { left_key: 0, right_key: 0 }, Some(&r)),
+        ];
+        for (q, right) in queries {
+            for shards in [1usize, 4] {
+                let spec = StreamSpec::fixed(ShardSpec::new(shards, ShardPartitioner::Hash));
+                let layout = cluster.plan_stream(&q, &t, right, &spec);
+                assert_eq!(layout.shards(), shards);
+                assert_eq!(
+                    layout.dispatched().iter().sum::<u64>(),
+                    (t.rows() + right.map_or(0, |r| r.rows())) as u64,
+                    "{}: layout loses rows",
+                    q.kind()
+                );
+                let routed = cluster.run_cheetah_streamed(&q, &t, right, &spec).unwrap();
+                // Same layout, three back-to-back runs: the resident twin
+                // must reproduce the routing twin bit for bit every time.
+                for round in 0..3 {
+                    let resident = cluster.run_cheetah_streamed_resident(&q, &layout).unwrap();
+                    assert_eq!(routed.output, resident.output, "{} round {round}", q.kind());
+                    assert_eq!(resident.rounds, routed.rounds);
+                    assert_eq!(
+                        resident.per_shard.iter().map(|s| s.rows).sum::<u64>(),
+                        routed.per_shard.iter().map(|s| s.rows).sum::<u64>(),
+                    );
+                    assert!(resident.replan_events.is_empty());
+                }
+            }
+        }
     }
 
     #[test]

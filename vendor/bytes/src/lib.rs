@@ -166,12 +166,29 @@ impl BytesMut {
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
+
+    /// Clear the buffer, keeping its allocation (the real crate's
+    /// `clear` likewise retains capacity for reuse).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserved-but-unused capacity tail, matching `bytes`.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -313,5 +330,18 @@ mod tests {
     #[should_panic]
     fn slice_out_of_bounds_panics() {
         Bytes::from(vec![1, 2, 3]).slice(0..4);
+    }
+
+    #[test]
+    fn deref_mut_patches_in_place_and_clear_keeps_capacity() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32(0);
+        b.put_u8(9);
+        b[0..4].copy_from_slice(&7u32.to_be_bytes());
+        assert_eq!(&b[..], &[0, 0, 0, 7, 9]);
+        let cap = b.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
     }
 }
