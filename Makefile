@@ -10,6 +10,14 @@ SMOKE_PLANNER_TOLERANCE ?= 0.35
 # The @streamed rows carry router/worker/merge threading and per-batch
 # framing, so they get their own wall-clock floor too.
 SMOKE_STREAMED_TOLERANCE ?= 0.35
+# The @compiled rows run the plan-time fused kernels on the presplit
+# pool; they are expected to be *faster* than interpreted, but wall
+# clock on shared runners still gets a floor of its own.
+SMOKE_COMPILED_TOLERANCE ?= 0.35
+# Within-run gate: every smoke pass requires distinct@compiled and at
+# least one aggregate family to beat their interpreted @shards siblings
+# by this factor (same machine, same run — no cross-host comparison).
+SMOKE_COMPILED_SPEEDUP ?= 1.5
 
 CROSSOVER_OUT ?= BENCH_crossover.json
 CROSSOVER_BASELINE ?= ci/crossover_baseline.json
@@ -17,7 +25,7 @@ CROSSOVER_BASELINE ?= ci/crossover_baseline.json
 # itself is gated exactly (it may only ever move down).
 CROSSOVER_TOLERANCE ?= 0.35
 
-.PHONY: build test lint docs bench-compile bench-smoke bench-crossover shard-gate planner-gate runtime-gate
+.PHONY: build test lint docs bench-compile bench-smoke bench-crossover shard-gate planner-gate runtime-gate compiled-gate
 
 build:
 	cargo build --release
@@ -52,6 +60,13 @@ planner-gate:
 runtime-gate:
 	cargo test -q -p cheetah-db --test runtime_contract
 
+# The named CI gate: compiled contract — the plan-time fused kernels
+# bit-identical to the interpreted oracle across all seven variants x
+# the adversarial workload family x shards {1,2,7}, with deterministic
+# pruning counters unchanged shard by shard.
+compiled-gate:
+	cargo test -q -p cheetah-db --test compiled_contract
+
 # The CI perf-smoke invocation, byte for byte: runs the fixed-seed smoke
 # pass, writes $(SMOKE_OUT), and fails on >$(SMOKE_TOLERANCE) regression
 # vs the checked-in baseline.
@@ -61,7 +76,9 @@ bench-smoke:
 		--smoke-baseline $(SMOKE_BASELINE) \
 		--smoke-tolerance $(SMOKE_TOLERANCE) \
 		--smoke-planner-tolerance $(SMOKE_PLANNER_TOLERANCE) \
-		--smoke-streamed-tolerance $(SMOKE_STREAMED_TOLERANCE)
+		--smoke-streamed-tolerance $(SMOKE_STREAMED_TOLERANCE) \
+		--smoke-compiled-tolerance $(SMOKE_COMPILED_TOLERANCE) \
+		--smoke-compiled-speedup $(SMOKE_COMPILED_SPEEDUP)
 
 # The CI perf-crossover invocation: run the shard-count sweep, write
 # $(CROSSOVER_OUT), and fail when any family's crossover shard count

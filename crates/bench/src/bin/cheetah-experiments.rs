@@ -28,6 +28,15 @@
 //!                     allowed fractional regression of the `@streamed`
 //!                     rows (default 0.35 — the streamed runtime carries
 //!                     router/worker/merge threading and batch framing)
+//!   --smoke-compiled-tolerance
+//!                     allowed fractional regression of the `@compiled`
+//!                     rows (default 0.35 — the fused kernels share the
+//!                     pool's threading variance)
+//!   --smoke-compiled-speedup
+//!                     required within-run ops/s speedup of the
+//!                     `@compiled` rows over their interpreted `@shards`
+//!                     siblings: distinct plus at least one aggregate
+//!                     family must reach it (default 1.5; 0 disables)
 //!   --smoke-seed      workload seed of the smoke pass (default 42)
 //!   --crossover-json PATH
 //!                     run the crossover scale-sweep instead of
@@ -59,6 +68,8 @@ fn main() {
     let mut smoke_tolerance = 0.2f64;
     let mut smoke_planner_tolerance = 0.35f64;
     let mut smoke_streamed_tolerance = 0.35f64;
+    let mut smoke_compiled_tolerance = 0.35f64;
+    let mut smoke_compiled_speedup = 1.5f64;
     let mut smoke_seed = 42u64;
     let mut crossover_json: Option<String> = None;
     let mut crossover_baseline: Option<String> = None;
@@ -131,6 +142,28 @@ fn main() {
                 }
                 smoke_streamed_tolerance = parsed;
             }
+            "--smoke-compiled-tolerance" => {
+                i += 1;
+                let parsed: f64 =
+                    value_of(&args, i, "--smoke-compiled-tolerance").parse().unwrap_or(f64::NAN);
+                if !parsed.is_finite() || !(0.0..1.0).contains(&parsed) {
+                    eprintln!("--smoke-compiled-tolerance needs a fraction in [0, 1), e.g. 0.35");
+                    std::process::exit(2);
+                }
+                smoke_compiled_tolerance = parsed;
+            }
+            "--smoke-compiled-speedup" => {
+                i += 1;
+                let parsed: f64 =
+                    value_of(&args, i, "--smoke-compiled-speedup").parse().unwrap_or(f64::NAN);
+                // 0 disables the within-run gate; anything else must be a
+                // sane multiplier.
+                if !parsed.is_finite() || parsed < 0.0 {
+                    eprintln!("--smoke-compiled-speedup needs a non-negative factor, e.g. 1.5");
+                    std::process::exit(2);
+                }
+                smoke_compiled_speedup = parsed;
+            }
             "--crossover-json" => {
                 i += 1;
                 crossover_json = Some(value_of(&args, i, "--crossover-json"));
@@ -164,7 +197,8 @@ fn main() {
                 println!(
                     "       cheetah-experiments --smoke-json PATH [--smoke-baseline PATH] \
                      [--smoke-tolerance FRAC] [--smoke-planner-tolerance FRAC] \
-                     [--smoke-streamed-tolerance FRAC] [--smoke-seed N]"
+                     [--smoke-streamed-tolerance FRAC] [--smoke-compiled-tolerance FRAC] \
+                     [--smoke-compiled-speedup FACTOR] [--smoke-seed N]"
                 );
                 println!(
                     "       cheetah-experiments --crossover-json PATH \
@@ -188,6 +222,8 @@ fn main() {
             smoke_tolerance,
             smoke_planner_tolerance,
             smoke_streamed_tolerance,
+            smoke_compiled_tolerance,
+            smoke_compiled_speedup,
             smoke_seed,
         );
         return;
@@ -236,12 +272,15 @@ fn main() {
 
 /// The CI perf-smoke path: measure, write JSON, optionally gate against a
 /// baseline. Exit code 1 = regression, 2 = usage/IO error.
+#[allow(clippy::too_many_arguments)]
 fn run_smoke_mode(
     out_path: &str,
     baseline_path: Option<&str>,
     tolerance: f64,
     planner_tolerance: f64,
     streamed_tolerance: f64,
+    compiled_tolerance: f64,
+    compiled_speedup: f64,
     seed: u64,
 ) {
     eprintln!("running perf smoke (seed {seed})...");
@@ -253,6 +292,20 @@ fn run_smoke_mode(
     });
     eprintln!("wrote {out_path}");
     println!("{json}");
+    // Within-run gate first: compiled rows vs their interpreted siblings
+    // measured in this very report, so it holds on any machine without a
+    // baseline at all.
+    if compiled_speedup > 0.0 {
+        let violations = report.compiled_speedup_violations(compiled_speedup);
+        if !violations.is_empty() {
+            eprintln!("compiled speedup gate FAILED (need {compiled_speedup:.2}x):");
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("compiled speedup gate OK (>= {compiled_speedup:.2}x within-run)");
+    }
     let Some(baseline_path) = baseline_path else {
         return;
     };
@@ -269,15 +322,17 @@ fn run_smoke_mode(
         tolerance,
         planner_tolerance,
         streamed_tolerance,
+        compiled_tolerance,
     );
     if violations.is_empty() {
         eprintln!(
             "perf smoke OK: {} families within {:.0}% of {baseline_path} ({:.0}% for @planned, \
-             {:.0}% for @streamed)",
+             {:.0}% for @streamed, {:.0}% for @compiled)",
             report.families.len(),
             tolerance * 100.0,
             planner_tolerance * 100.0,
-            streamed_tolerance * 100.0
+            streamed_tolerance * 100.0,
+            compiled_tolerance * 100.0
         );
     } else {
         eprintln!("perf smoke FAILED vs {baseline_path}:");

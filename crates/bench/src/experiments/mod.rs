@@ -2,6 +2,7 @@
 //! the sharded-execution sweep.
 
 pub mod ablations;
+pub mod chooser;
 pub mod crossover;
 pub mod fig10;
 pub mod fig11;
@@ -40,6 +41,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("planner", planner::run),
         ("runtime", runtime::run),
         ("crossover", crossover::run),
+        ("chooser", chooser::run),
     ]
 }
 
@@ -65,6 +67,7 @@ mod tests {
             "planner",
             "runtime",
             "crossover",
+            "chooser",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

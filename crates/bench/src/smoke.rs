@@ -22,8 +22,8 @@
 
 use cheetah_core::ShardPartitioner;
 use cheetah_db::{
-    fixed_sharder, route_range, routing_keys, Cluster, DbPredicate, DbQuery, IntCmp, PlanDecision,
-    ShardPlanner, ShardSpec, Table,
+    fixed_sharder, route_range, routing_keys, Cluster, DbPredicate, DbQuery, ExecBackend, IntCmp,
+    PlanDecision, ShardPlanner, ShardSpec, Table,
 };
 use cheetah_net::ENTRY_WIRE_BYTES;
 use cheetah_runtime::{PooledExecution, StreamSpec, StreamedExecution};
@@ -36,6 +36,9 @@ use std::time::Instant;
 pub struct SmokeFamily {
     /// Family id, e.g. `distinct` or `distinct@shards4`.
     pub name: String,
+    /// Engine backend the run's breakdown reported (`interp` or
+    /// `compiled`) — what actually executed, not what was requested.
+    pub backend: String,
     /// Input rows per second of the best repetition.
     pub ops_per_sec: f64,
     /// Bytes the switch pruned off the wire (deterministic in the seed).
@@ -99,29 +102,76 @@ fn smoke_tables(seed: u64, rows: usize) -> (Table, Table) {
 }
 
 /// Time `execute` best-of-`reps` and record one family. `execute` returns
-/// the run's `(pruned entries, entries to master)` — the same metric
-/// derivation for unsharded and sharded passes by construction.
+/// the run's `(pruned entries, entries to master, backend)` — the same
+/// metric derivation for unsharded and sharded passes by construction,
+/// and the backend is the one the breakdown *reported*, so a compiled row
+/// that silently fell back to the interpreter is visible in the JSON.
 fn measure_family(
     name: String,
     input_rows: usize,
     reps: usize,
-    mut execute: impl FnMut() -> (u64, u64),
+    mut execute: impl FnMut() -> (u64, u64, ExecBackend),
 ) -> SmokeFamily {
     let mut best = f64::INFINITY;
-    let mut counters = (0, 0);
+    let mut counters = (0, 0, ExecBackend::default());
     for _ in 0..reps.max(1) {
         let t0 = Instant::now();
         counters = execute();
         best = best.min(t0.elapsed().as_secs_f64());
     }
-    let (pruned, entries_to_master) = counters;
+    let (pruned, entries_to_master, backend) = counters;
     SmokeFamily {
         name,
+        backend: backend.label().to_string(),
         ops_per_sec: input_rows as f64 / best.max(1e-12),
         bytes_pruned: pruned * ENTRY_WIRE_BYTES,
         entries_to_master,
     }
 }
+
+/// Time two executions interleaved (A, B, A, B, …), best-of each, and
+/// record both. The `@shards`/`@compiled` sibling pair is measured this
+/// way because their *ratio* is itself gated
+/// (`--smoke-compiled-speedup`): alternating back-to-back keeps scheduler
+/// or frequency drift from landing on one side of the ratio, which
+/// separate measurement windows cannot guarantee on a shared runner. The
+/// pair also gets a floor of [`PAIR_REPS`] repetitions — a ratio needs
+/// more samples than a lone wall-clock row.
+#[allow(clippy::type_complexity)]
+fn measure_pair(
+    names: (String, String),
+    input_rows: usize,
+    reps: usize,
+    mut exec_a: impl FnMut() -> (u64, u64, ExecBackend),
+    mut exec_b: impl FnMut() -> (u64, u64, ExecBackend),
+) -> (SmokeFamily, SmokeFamily) {
+    let mut best = (f64::INFINITY, f64::INFINITY);
+    let mut counters = ((0, 0, ExecBackend::default()), (0, 0, ExecBackend::default()));
+    for _ in 0..reps.max(PAIR_REPS) {
+        let t0 = Instant::now();
+        counters.0 = exec_a();
+        best.0 = best.0.min(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        counters.1 = exec_b();
+        best.1 = best.1.min(t1.elapsed().as_secs_f64());
+    }
+    let family = |name: String, (pruned, entries, backend): (u64, u64, ExecBackend), best: f64| {
+        SmokeFamily {
+            name,
+            backend: backend.label().to_string(),
+            ops_per_sec: input_rows as f64 / best.max(1e-12),
+            bytes_pruned: pruned * ENTRY_WIRE_BYTES,
+            entries_to_master: entries,
+        }
+    };
+    (family(names.0, counters.0, best.0), family(names.1, counters.1, best.1))
+}
+
+/// Repetition floor for the interleaved sibling pair. Higher than the
+/// default `reps` because a best-of *ratio* needs both sides to land a
+/// clean repetition in the same window; at the smoke table's size one
+/// extra rep costs well under a millisecond.
+const PAIR_REPS: usize = 21;
 
 /// Run the smoke pass: every family unsharded, plus — for three
 /// representative families — a fixed [`SMOKE_SHARDS`]-shard run, a
@@ -137,9 +187,13 @@ pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
         let input_rows = left.rows() + right_of.map_or(0, |r| r.rows());
         families.push(measure_family(name.to_string(), input_rows, reps, || {
             let run = cluster.run_cheetah(&q, &left, right_of).expect("plan fits");
-            (run.switch_stats.pruned, run.breakdown.entries_to_master)
+            (run.switch_stats.pruned, run.breakdown.entries_to_master, run.breakdown.backend)
         }));
     }
+
+    // The compiled twin of the barrier pool: same cluster tuning, every
+    // shard routed through the plan-time fused kernels.
+    let compiled = cluster.clone().with_backend(ExecBackend::Compiled);
 
     let planner = ShardPlanner::default();
     for (name, q) in [
@@ -174,24 +228,35 @@ pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
                 .map(Arc::new)
                 .collect()
         });
-        families.push(measure_family(
-            format!("{name}@shards{SMOKE_SHARDS}"),
+        // The @shards row and its @compiled twin — identical resident
+        // layout, identical pool entry point, but the twin's shards run
+        // the monomorphic fused kernel instead of walking the boxed stage
+        // pipeline. The compiled contract gate proves the outputs and
+        // counters identical; the twin's row gates the *speedup* (and its
+        // own wall-clock floor, `--smoke-compiled-tolerance`), so the
+        // pair is measured interleaved rather than as two windows.
+        let presplit = |c: &Cluster| {
+            let run = c
+                .run_cheetah_presplit(
+                    &q,
+                    &left_shards,
+                    right_shards.as_deref(),
+                    &spec.ingest,
+                    PlanDecision::Fixed(spec.partitioner),
+                    None,
+                )
+                .expect("plan fits");
+            (run.switch_stats.pruned, run.breakdown.entries_to_master, run.breakdown.backend)
+        };
+        let (interp_row, compiled_row) = measure_pair(
+            (format!("{name}@shards{SMOKE_SHARDS}"), format!("{name}@compiled")),
             input_rows,
             reps,
-            || {
-                let run = cluster
-                    .run_cheetah_presplit(
-                        &q,
-                        &left_shards,
-                        right_shards.as_deref(),
-                        &spec.ingest,
-                        PlanDecision::Fixed(spec.partitioner),
-                        None,
-                    )
-                    .expect("plan fits");
-                (run.switch_stats.pruned, run.breakdown.entries_to_master)
-            },
-        ));
+            || presplit(&cluster),
+            || presplit(&compiled),
+        );
+        families.push(interp_row);
+        families.push(compiled_row);
         // The planned counterpart of the fixed-spec row above: same
         // query, same tables, layout chosen by the sample-driven
         // planner. `@planned` rows get their own gate tolerance —
@@ -199,7 +264,7 @@ pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
         // count, so their wall-clock varies more than a pinned spec's.
         families.push(measure_family(format!("{name}@planned"), input_rows, reps, || {
             let run = cluster.run_cheetah_planned(&q, &left, right_of, &planner).expect("fits");
-            (run.switch_stats.pruned, run.breakdown.entries_to_master)
+            (run.switch_stats.pruned, run.breakdown.entries_to_master, run.breakdown.backend)
         }));
         // The streamed-runtime twin of the same fixed spec: survivor
         // batches over bounded channels into the incremental merge. Its
@@ -215,7 +280,7 @@ pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
         let layout = cluster.plan_stream(&q, &left, right_of, &streamed);
         families.push(measure_family(format!("{name}@streamed"), input_rows, reps, || {
             let run = cluster.run_cheetah_streamed_resident(&q, &layout).expect("fits");
-            (run.switch_stats.pruned, run.breakdown.entries_to_master)
+            (run.switch_stats.pruned, run.breakdown.entries_to_master, run.breakdown.backend)
         }));
     }
 
@@ -235,8 +300,8 @@ impl SmokeReport {
         for (i, f) in self.families.iter().enumerate() {
             let comma = if i + 1 < self.families.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"ops_per_sec\": {:.1}, \"bytes_pruned\": {}, \"entries_to_master\": {}}}{comma}\n",
-                f.name, f.ops_per_sec, f.bytes_pruned, f.entries_to_master
+                "    {{\"name\": \"{}\", \"backend\": \"{}\", \"ops_per_sec\": {:.1}, \"bytes_pruned\": {}, \"entries_to_master\": {}}}{comma}\n",
+                f.name, f.backend, f.ops_per_sec, f.bytes_pruned, f.entries_to_master
             ));
         }
         out.push_str("  ]\n}\n");
@@ -276,8 +341,12 @@ impl SmokeReport {
                     .ok_or_else(|| format!("family {name}: missing bytes_pruned"))?;
                 let entries = num_field(line, "entries_to_master")
                     .ok_or_else(|| format!("family {name}: missing entries_to_master"))?;
+                // Baselines written before the backend column default to
+                // the interpreter — the only engine that existed then.
+                let backend = str_field(line, "backend").unwrap_or_else(|| "interp".to_string());
                 families.push(SmokeFamily {
                     name,
+                    backend,
                     ops_per_sec: ops,
                     bytes_pruned: bytes as u64,
                     entries_to_master: entries as u64,
@@ -298,26 +367,29 @@ impl SmokeReport {
     /// its ops/sec must not have dropped by more than `tolerance`
     /// (fraction, e.g. `0.2`), and its bytes-pruned must not have shrunk
     /// by more than `tolerance` (less pruning = quality regression).
-    /// `@planned` and `@streamed` families are gated with `tolerance`
-    /// too; use [`SmokeReport::regressions_against_with`] to give them
-    /// their own. Returns the violations, empty when the gate passes.
+    /// `@planned`, `@streamed`, and `@compiled` families are gated with
+    /// `tolerance` too; use [`SmokeReport::regressions_against_with`] to
+    /// give them their own. Returns the violations, empty when the gate
+    /// passes.
     pub fn regressions_against(&self, baseline: &SmokeReport, tolerance: f64) -> Vec<String> {
-        self.regressions_against_with(baseline, tolerance, tolerance, tolerance)
+        self.regressions_against_with(baseline, tolerance, tolerance, tolerance, tolerance)
     }
 
     /// [`SmokeReport::regressions_against`] with separate *ops/sec*
     /// tolerances for the planner's `@planned` rows (a sampling pass and
-    /// a data-dependent shard count) and the runtime's `@streamed` rows
-    /// (router/worker/merge threading and per-batch framing), both of
-    /// which carry more wall-clock variance than a pinned barrier spec.
-    /// The deterministic bytes-pruned quality gate stays at the base
-    /// `tolerance` for every family, `@planned`/`@streamed` included.
+    /// a data-dependent shard count), the runtime's `@streamed` rows
+    /// (router/worker/merge threading and per-batch framing), and the
+    /// fused kernels' `@compiled` rows — all of which carry more
+    /// wall-clock variance than a pinned interpreted barrier spec. The
+    /// deterministic bytes-pruned quality gate stays at the base
+    /// `tolerance` for every family, suffixed rows included.
     pub fn regressions_against_with(
         &self,
         baseline: &SmokeReport,
         tolerance: f64,
         planner_tolerance: f64,
         streamed_tolerance: f64,
+        compiled_tolerance: f64,
     ) -> Vec<String> {
         let mut violations = Vec::new();
         // The deterministic metrics only mean anything on the same
@@ -350,6 +422,8 @@ impl SmokeReport {
                 planner_tolerance
             } else if base.name.ends_with("@streamed") {
                 streamed_tolerance
+            } else if base.name.ends_with("@compiled") {
+                compiled_tolerance
             } else {
                 tolerance
             };
@@ -367,6 +441,57 @@ impl SmokeReport {
                     base.name, base.bytes_pruned, cur.bytes_pruned, bytes_floor
                 ));
             }
+            // The backend is what the run *reported* executing: a
+            // `@compiled` row silently falling back to the interpreter is
+            // a regression even when it happens to stay above the
+            // wall-clock floor.
+            if cur.backend != base.backend {
+                violations.push(format!(
+                    "{}: backend changed {} -> {} (silent fallback?)",
+                    base.name, base.backend, cur.backend
+                ));
+            }
+        }
+        violations
+    }
+
+    /// The within-run compiled speedup gate: every `X@compiled` row is
+    /// compared to its interpreted `X@shardsN` sibling *in this report*
+    /// (same machine, same run — no cross-host wall-clock comparison).
+    /// Violations are returned when the `distinct` family fails to reach
+    /// `min_speedup`, or when *no* other family reaches it — the
+    /// acceptance shape "distinct plus at least one aggregate family".
+    pub fn compiled_speedup_violations(&self, min_speedup: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut others_passing = 0usize;
+        let mut others_total = 0usize;
+        for f in self.families.iter().filter(|f| f.name.ends_with("@compiled")) {
+            let family = f.name.trim_end_matches("@compiled");
+            let sibling = format!("{family}@shards{SMOKE_SHARDS}");
+            let Some(interp) = self.families.iter().find(|s| s.name == sibling) else {
+                violations
+                    .push(format!("{}: no interpreted @shards sibling to gate against", f.name));
+                continue;
+            };
+            let speedup = f.ops_per_sec / interp.ops_per_sec.max(1e-12);
+            if family == "distinct" {
+                if speedup < min_speedup {
+                    violations.push(format!(
+                        "{}: {speedup:.2}x over {} — the distinct family must reach {min_speedup:.2}x",
+                        f.name, interp.name
+                    ));
+                }
+            } else {
+                others_total += 1;
+                if speedup >= min_speedup {
+                    others_passing += 1;
+                }
+            }
+        }
+        if others_total > 0 && others_passing == 0 {
+            violations.push(format!(
+                "no aggregate family reached {min_speedup:.2}x compiled speedup over its interpreted sibling"
+            ));
         }
         violations
     }
@@ -385,8 +510,14 @@ impl SmokeReport {
             .max("family".len());
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<name_w$}  {:>14}  {:>14}  {:>8}  {:>16}  {:>16}\n",
-            "family", "base ops/s", "now ops/s", "delta", "base bytes-pruned", "now bytes-pruned"
+            "{:<name_w$}  {:>8}  {:>14}  {:>14}  {:>8}  {:>16}  {:>16}\n",
+            "family",
+            "backend",
+            "base ops/s",
+            "now ops/s",
+            "delta",
+            "base bytes-pruned",
+            "now bytes-pruned"
         ));
         for base in &baseline.families {
             match self.families.iter().find(|f| f.name == base.name) {
@@ -397,8 +528,9 @@ impl SmokeReport {
                         0.0
                     };
                     out.push_str(&format!(
-                        "{:<name_w$}  {:>14.0}  {:>14.0}  {:>+7.1}%  {:>17}  {:>16}\n",
+                        "{:<name_w$}  {:>8}  {:>14.0}  {:>14.0}  {:>+7.1}%  {:>17}  {:>16}\n",
                         base.name,
+                        cur.backend,
                         base.ops_per_sec,
                         cur.ops_per_sec,
                         delta,
@@ -408,8 +540,14 @@ impl SmokeReport {
                 }
                 None => {
                     out.push_str(&format!(
-                        "{:<name_w$}  {:>14.0}  {:>14}  {:>8}  {:>17}  {:>16}\n",
-                        base.name, base.ops_per_sec, "missing", "-", base.bytes_pruned, "-"
+                        "{:<name_w$}  {:>8}  {:>14.0}  {:>14}  {:>8}  {:>17}  {:>16}\n",
+                        base.name,
+                        base.backend,
+                        base.ops_per_sec,
+                        "missing",
+                        "-",
+                        base.bytes_pruned,
+                        "-"
                     ));
                 }
             }
@@ -418,8 +556,8 @@ impl SmokeReport {
             self.families.iter().filter(|f| baseline.families.iter().all(|b| b.name != f.name))
         {
             out.push_str(&format!(
-                "{:<name_w$}  {:>14}  {:>14.0}  {:>8}  {:>17}  {:>16}\n",
-                cur.name, "(new)", cur.ops_per_sec, "-", "-", cur.bytes_pruned
+                "{:<name_w$}  {:>8}  {:>14}  {:>14.0}  {:>8}  {:>17}  {:>16}\n",
+                cur.name, cur.backend, "(new)", cur.ops_per_sec, "-", "-", cur.bytes_pruned
             ));
         }
         out
@@ -440,12 +578,69 @@ mod tests {
             assert!(names.contains(&want), "missing {want}");
         }
         assert!(names.iter().filter(|n| n.contains("@shards4")).count() == 3);
-        // Every fixed-spec sharded row has its planned and streamed twins.
+        // Every fixed-spec sharded row has its planned, streamed, and
+        // compiled twins.
         assert!(names.iter().filter(|n| n.ends_with("@planned")).count() == 3);
         assert!(names.iter().filter(|n| n.ends_with("@streamed")).count() == 3);
+        assert!(names.iter().filter(|n| n.ends_with("@compiled")).count() == 3);
         for f in &r.families {
             assert!(f.ops_per_sec > 0.0, "{}: zero throughput", f.name);
+            // Honest attribution: only @compiled rows report the fused
+            // kernels, and they must never silently fall back.
+            let want = if f.name.ends_with("@compiled") { "compiled" } else { "interp" };
+            assert_eq!(f.backend, want, "{}", f.name);
         }
+    }
+
+    #[test]
+    fn compiled_rows_prune_exactly_like_their_interpreted_siblings() {
+        // The contract gate proves this on the executor; this pins the
+        // harness wiring — same presplit layout, same counters.
+        let r = run_smoke(11, 2_000, 1);
+        for f in r.families.iter().filter(|f| f.name.ends_with("@compiled")) {
+            let sibling = f.name.replace("@compiled", &format!("@shards{SMOKE_SHARDS}"));
+            let interp = r.families.iter().find(|s| s.name == sibling).expect("sibling row");
+            assert_eq!(f.bytes_pruned, interp.bytes_pruned, "{}", f.name);
+            assert_eq!(f.entries_to_master, interp.entries_to_master, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn compiled_speedup_gate_reads_sibling_rows() {
+        let mut r = run_smoke(5, 1_000, 1);
+        // Force known ratios: distinct 2x, groupby-max 1.1x, join 1.0x.
+        let fake = |r: &mut SmokeReport, name: &str, ops: f64| {
+            r.families.iter_mut().find(|f| f.name == name).expect(name).ops_per_sec = ops;
+        };
+        fake(&mut r, "distinct@shards4", 100.0);
+        fake(&mut r, "distinct@compiled", 200.0);
+        fake(&mut r, "groupby-max@shards4", 100.0);
+        fake(&mut r, "groupby-max@compiled", 110.0);
+        fake(&mut r, "join@shards4", 100.0);
+        fake(&mut r, "join@compiled", 100.0);
+        // 1.5x: distinct passes but no aggregate family does.
+        let v = r.compiled_speedup_violations(1.5);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no aggregate family"), "{v:?}");
+        // 1.05x: distinct and groupby-max both clear it.
+        assert!(r.compiled_speedup_violations(1.05).is_empty());
+        // 3x: distinct itself fails too.
+        let v = r.compiled_speedup_violations(3.0);
+        assert!(v.iter().any(|m| m.contains("distinct@compiled")), "{v:?}");
+    }
+
+    #[test]
+    fn backend_flip_is_a_regression() {
+        let base = run_smoke(3, 1_000, 1);
+        let mut flipped = base.clone();
+        let idx = flipped
+            .families
+            .iter()
+            .position(|f| f.name.ends_with("@compiled"))
+            .expect("compiled row");
+        flipped.families[idx].backend = "interp".to_string();
+        let v = flipped.regressions_against(&base, 0.9);
+        assert!(v.iter().any(|m| m.contains("backend changed")), "{v:?}");
     }
 
     #[test]
@@ -467,9 +662,24 @@ mod tests {
         assert_eq!(parsed.families.len(), r.families.len());
         for (a, b) in parsed.families.iter().zip(&r.families) {
             assert_eq!(a.name, b.name);
+            assert_eq!(a.backend, b.backend);
             assert_eq!(a.bytes_pruned, b.bytes_pruned);
             assert!((a.ops_per_sec - b.ops_per_sec).abs() <= 0.1);
         }
+        // A pre-backend-column baseline still parses: the field defaults
+        // to the interpreter.
+        let json = r.to_json();
+        let legacy = json.lines().map(|l| {
+            if let Some(at) = l.find("\"backend\": \"") {
+                let end = l[at + 12..].find('"').unwrap() + at + 12;
+                format!("{}{}", &l[..at], &l[end + 3..])
+            } else {
+                l.to_string()
+            }
+        });
+        let legacy = legacy.collect::<Vec<_>>().join("\n");
+        let parsed = SmokeReport::parse_json(&legacy).expect("legacy baseline parses");
+        assert!(parsed.families.iter().all(|f| f.backend == "interp"));
     }
 
     #[test]
@@ -521,25 +731,36 @@ mod tests {
         let mut slow = base.clone();
         slow.families[planned_idx].ops_per_sec = base.families[planned_idx].ops_per_sec * 0.7;
         assert!(!slow.regressions_against(&base, 0.2).is_empty());
-        assert!(slow.regressions_against_with(&base, 0.2, 0.4, 0.2).is_empty());
+        assert!(slow.regressions_against_with(&base, 0.2, 0.4, 0.2, 0.2).is_empty());
         // …the streamed knob excuses only @streamed rows…
         let mut slow_streamed = base.clone();
         slow_streamed.families[streamed_idx].ops_per_sec =
             base.families[streamed_idx].ops_per_sec * 0.7;
-        assert!(!slow_streamed.regressions_against_with(&base, 0.2, 0.9, 0.2).is_empty());
-        assert!(slow_streamed.regressions_against_with(&base, 0.2, 0.2, 0.4).is_empty());
-        // …while a fixed-spec row is never excused by either knob.
+        assert!(!slow_streamed.regressions_against_with(&base, 0.2, 0.9, 0.2, 0.9).is_empty());
+        assert!(slow_streamed.regressions_against_with(&base, 0.2, 0.2, 0.4, 0.2).is_empty());
+        // …the compiled knob excuses only @compiled rows…
+        let compiled_idx = base
+            .families
+            .iter()
+            .position(|f| f.name.ends_with("@compiled"))
+            .expect("compiled family present");
+        let mut slow_compiled = base.clone();
+        slow_compiled.families[compiled_idx].ops_per_sec =
+            base.families[compiled_idx].ops_per_sec * 0.7;
+        assert!(!slow_compiled.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.2).is_empty());
+        assert!(slow_compiled.regressions_against_with(&base, 0.2, 0.2, 0.2, 0.4).is_empty());
+        // …while a fixed-spec row is never excused by any knob.
         let fixed_idx =
             base.families.iter().position(|f| f.name.contains("@shards")).expect("fixed family");
         let mut slow_fixed = base.clone();
         slow_fixed.families[fixed_idx].ops_per_sec = base.families[fixed_idx].ops_per_sec * 0.7;
-        assert!(!slow_fixed.regressions_against_with(&base, 0.2, 0.9, 0.9).is_empty());
-        // The deterministic quality gate binds planned and streamed rows
-        // at the *base* tolerance — wide knobs never excuse lost pruning.
-        for idx in [planned_idx, streamed_idx] {
+        assert!(!slow_fixed.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.9).is_empty());
+        // The deterministic quality gate binds every suffixed row at the
+        // *base* tolerance — wide knobs never excuse lost pruning.
+        for idx in [planned_idx, streamed_idx, compiled_idx] {
             let mut weak = base.clone();
             weak.families[idx].bytes_pruned = (base.families[idx].bytes_pruned as f64 * 0.7) as u64;
-            let v = weak.regressions_against_with(&base, 0.2, 0.9, 0.9);
+            let v = weak.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.9);
             assert!(v.iter().any(|m| m.contains("bytes-pruned regressed")), "{v:?}");
         }
     }
@@ -552,6 +773,7 @@ mod tests {
         let gone = cur.families.pop().expect("non-empty");
         cur.families.push(SmokeFamily {
             name: "brand-new".into(),
+            backend: "interp".into(),
             ops_per_sec: 1.0,
             bytes_pruned: 0,
             entries_to_master: 0,

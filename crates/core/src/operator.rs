@@ -114,6 +114,32 @@ pub trait PruningOperator<S: ?Sized, E: PacketEntry>: Sync {
     /// serialize, §7.1).
     fn encode(&self, src: &S, stream: usize, part: usize, row: usize, slots: &mut Vec<u64>);
 
+    /// Encode every row of partition `part` of stream `stream`, calling
+    /// `sink` exactly once per row, in row order, with that row's value
+    /// slots. This is the worker-side half of plan-time specialization:
+    /// the compiled fast path calls it once per partition so an operator
+    /// can hoist its column-type dispatch (and any per-row value boxing)
+    /// out of the row loop. The default simply loops over [`encode`], so
+    /// overriding is purely a performance choice — the slot values must
+    /// be identical either way.
+    ///
+    /// [`encode`]: PruningOperator::encode
+    fn encode_part(
+        &self,
+        src: &S,
+        stream: usize,
+        part: usize,
+        rows: usize,
+        sink: &mut dyn FnMut(&[u64]),
+    ) {
+        let mut slots: Vec<u64> = Vec::new();
+        for row in 0..rows {
+            slots.clear();
+            self.encode(src, stream, part, row, &mut slots);
+            sink(&slots);
+        }
+    }
+
     /// Complete the query on the master from the per-stream survivors.
     fn complete(&self, src: &S, survivors: &[Vec<E>]) -> Self::Output;
 }

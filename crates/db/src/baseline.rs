@@ -171,6 +171,9 @@ impl Cluster {
                 plan: None,
                 overlap_seconds: 0.0,
                 replans: 0,
+                // The baseline never touches the switch; the field only
+                // distinguishes Cheetah-path engines.
+                backend: cheetah_net::ExecBackend::Interpreted,
             },
         }
     }

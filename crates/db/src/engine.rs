@@ -34,7 +34,7 @@ use cheetah_switch::{ProgramStats, SwitchProfile};
 
 // Byte accounting lives in the layer that owns link modelling; re-exported
 // here because the engine's runs are where callers meet it.
-pub use cheetah_net::{Encoded, ExecBreakdown, ENTRY_WIRE_BYTES};
+pub use cheetah_net::{Encoded, ExecBackend, ExecBreakdown, ENTRY_WIRE_BYTES};
 
 /// Result of the baseline path.
 #[derive(Debug, Clone)]
@@ -129,6 +129,13 @@ pub struct Cluster {
     pub spark_row_overhead_ns: f64,
     /// Switch-side tuning.
     pub tuning: CheetahTuning,
+    /// Which pruning backend the Cheetah path runs: the interpreted
+    /// pipeline (default, the oracle) or the plan-time fused kernels of
+    /// [`cheetah_core::CompiledProgram`]. Because the sharded, pooled and
+    /// streamed paths all clone the cluster into their workers, setting
+    /// this once routes every shard's entry loop through the chosen
+    /// engine.
+    pub backend: ExecBackend,
 }
 
 impl Default for Cluster {
@@ -138,6 +145,7 @@ impl Default for Cluster {
             baseline_compression: 0.5,
             spark_row_overhead_ns: 1_000.0,
             tuning: CheetahTuning::default(),
+            backend: ExecBackend::Interpreted,
         }
     }
 }
@@ -158,6 +166,12 @@ pub fn spark_overhead_factor(q: &DbQuery) -> f64 {
 }
 
 impl Cluster {
+    /// This cluster with the Cheetah path pinned to `backend`.
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     // ------------------------------------------------------------------
     // Baseline path (measured operators live in `crate::baseline`)
     // ------------------------------------------------------------------

@@ -23,11 +23,88 @@
 use crate::engine::{CheetahRun, Cluster};
 use crate::query::QueryOutput;
 use crate::table::Table;
-use cheetah_core::{planner, PassPlan, PruningOperator, StandalonePruner};
-use cheetah_net::{Encoded, ExecBreakdown, ENTRY_WIRE_BYTES};
-use cheetah_switch::{ControlMsg, Pipeline, ProgramId, Verdict};
+use cheetah_core::{
+    planner, CompiledProgram, PassPlan, PruneEngine, PruningOperator, QuerySpec, StandalonePruner,
+};
+use cheetah_net::{Encoded, ExecBackend, ExecBreakdown, ENTRY_WIRE_BYTES};
+use cheetah_switch::{ControlMsg, Pipeline, ProgramId, ProgramStats, Verdict};
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::time::Instant;
+
+/// One thread's installed compiled program: the spec and profile it was
+/// planned against, the plan's resource verdict, and the kernel itself.
+struct InstalledProgram {
+    spec: QuerySpec,
+    profile: cheetah_switch::SwitchProfile,
+    usage: cheetah_switch::UsageSummary,
+    engine: CompiledProgram,
+}
+
+thread_local! {
+    /// The thread's last compiled program, kept warm between runs. Pool
+    /// workers are persistent, so across a sharded run's repetitions every
+    /// worker re-executes the *same* spec against the *same* profile.
+    /// Planning is deterministic, so the ledger verdict and usage are
+    /// unchanged on a repeat — and the kernel re-arms with
+    /// [`CompiledProgram::reset`]. This is the install-once, stream-many
+    /// lifecycle of a real switch program: neither the interpreter's
+    /// register file nor the kernel's is re-allocated per run.
+    static COMPILED_CACHE: RefCell<Option<InstalledProgram>> = const { RefCell::new(None) };
+
+    /// The fused path's working buffers, kept warm per worker thread for
+    /// the same reason as the program cache.
+    static FUSED_SCRATCH: RefCell<FusedScratch> = const { RefCell::new(FusedScratch::new()) };
+}
+
+/// Working buffers of [`run_fused_single`]: the flat slot buffer, the
+/// row-boundary offsets into it, and the forwarded-row index list.
+#[derive(Default)]
+struct FusedScratch {
+    buf: Vec<u64>,
+    offsets: Vec<usize>,
+    forwarded: Vec<usize>,
+}
+
+impl FusedScratch {
+    const fn new() -> Self {
+        Self { buf: Vec::new(), offsets: Vec::new(), forwarded: Vec::new() }
+    }
+}
+
+/// The thread's installed program for (`spec`, `profile`), reset in place
+/// — or `None` when the cache holds something else (the caller plans and
+/// compiles from scratch).
+fn take_installed(
+    spec: &QuerySpec,
+    profile: &cheetah_switch::SwitchProfile,
+) -> Option<(cheetah_switch::UsageSummary, CompiledProgram)> {
+    COMPILED_CACHE.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.take() {
+            Some(p) if p.spec == *spec && p.profile == *profile => {
+                let mut engine = p.engine;
+                engine.reset();
+                Some((p.usage, engine))
+            }
+            other => {
+                *slot = other;
+                None
+            }
+        }
+    })
+}
+
+/// Park a finished program back in the thread's cache for the next run.
+fn park_installed(
+    spec: QuerySpec,
+    profile: cheetah_switch::SwitchProfile,
+    usage: cheetah_switch::UsageSummary,
+    engine: CompiledProgram,
+) {
+    COMPILED_CACHE
+        .with(|c| *c.borrow_mut() = Some(InstalledProgram { spec, profile, usage, engine }));
+}
 
 /// The data a query runs over: one table, or two for JOIN. Stream 0 is
 /// the (left) table; stream 1, when present, the right.
@@ -68,6 +145,42 @@ impl<'a> Tables<'a> {
     }
 }
 
+/// The interpreted oracle behind the [`PruneEngine`] seam: a
+/// [`StandalonePruner`]-wrapped [`Pipeline`] plus the program handle its
+/// control messages address. The compiled twin is
+/// [`CompiledProgram`]; `run_passes` is generic over both, so the
+/// four-arm pass logic exists exactly once.
+pub struct InterpretedEngine {
+    pruner: StandalonePruner<Pipeline>,
+    program: ProgramId,
+}
+
+impl InterpretedEngine {
+    /// Wrap an installed pipeline as a pass engine.
+    pub fn new(pipeline: Pipeline, program: ProgramId) -> Self {
+        Self { pruner: StandalonePruner::new(pipeline), program }
+    }
+}
+
+impl PruneEngine for InterpretedEngine {
+    fn offer_run<'v>(
+        &mut self,
+        fid: u32,
+        entries: impl Iterator<Item = &'v [u64]>,
+        sink: impl FnMut(usize, Verdict),
+    ) -> cheetah_switch::Result<()> {
+        self.pruner.offer_run(fid, entries, sink)
+    }
+
+    fn set_phase(&mut self, phase: u8) -> cheetah_switch::Result<()> {
+        self.pruner.program_mut().control(self.program, &ControlMsg::SetPhase(phase))
+    }
+
+    fn stats(&self) -> ProgramStats {
+        self.pruner.program().stats(self.program)
+    }
+}
+
 impl Cluster {
     /// Drive any [`PruningOperator`] through the full Cheetah dataflow.
     ///
@@ -83,33 +196,74 @@ impl Cluster {
             tables.stream(s)?;
         }
 
-        // Plan the switch program.
-        let plan = planner::plan(&op.spec()?, self.profile.clone())?;
-        let planner::Plan { pipeline, program, usage, .. } = plan;
+        // Plan the switch program. The interpreted plan is the
+        // resource-validation oracle (ledger, rules, install time) even
+        // when a compiled kernel will run the entries — but planning is
+        // deterministic, so a worker that just validated this exact
+        // (spec, profile) reuses its installed program and verdict
+        // instead of re-planning per repetition.
+        let spec = op.spec()?;
+        let installed = match self.backend {
+            ExecBackend::Compiled => take_installed(&spec, &self.profile),
+            ExecBackend::Interpreted => None,
+        };
+        let (usage, interp, compiled) = match installed {
+            Some((usage, engine)) => (usage, None, Some(engine)),
+            None => {
+                let plan = planner::plan(&spec, self.profile.clone())?;
+                let planner::Plan { pipeline, program, usage, .. } = plan;
+                // A spec the compiler cannot specialize falls back to the
+                // interpreter; `breakdown.backend` records what ran.
+                let compiled = match self.backend {
+                    ExecBackend::Compiled => CompiledProgram::compile(&spec).ok(),
+                    ExecBackend::Interpreted => None,
+                };
+                (usage, Some((pipeline, program)), compiled)
+            }
+        };
 
-        // Workers: serialize the queried columns, partition-parallel.
-        let mut streams: Vec<Vec<Vec<Encoded>>> = Vec::with_capacity(op.streams());
-        let mut worker_seconds = 0.0;
-        for s in 0..op.streams() {
-            let (stream, wt) = serialize(op, tables, s)?;
-            worker_seconds += wt;
-            streams.push(stream);
-        }
-
-        // Switch: drive the operator's pass plan over the entry streams.
-        let mut pruner = StandalonePruner::new(pipeline);
-        let (survivors, extra_worker) = run_passes(op, &streams, &mut pruner, program)?;
-        worker_seconds += extra_worker;
+        // Switch + workers. The compiled fast path fuses the two for
+        // single-pass plans: each partition is encoded through the
+        // operator's hoisted `encode_part` straight into the kernel, and
+        // only survivors materialize as entries. Multi-pass plans (and the
+        // interpreter, deliberately the straightforward oracle) serialize
+        // the full entry streams first, then drive the pass loop.
+        let (survivors, worker_seconds, max_worker_entries, stats, backend) = match compiled {
+            Some(mut engine) if matches!(op.pass_plan(), PassPlan::Single) => {
+                let (survivors, worker, max_entries) = run_fused_single(op, tables, &mut engine)?;
+                let stats = engine.stats();
+                park_installed(spec, self.profile.clone(), usage, engine);
+                (survivors, worker, max_entries, stats, ExecBackend::Compiled)
+            }
+            Some(mut engine) => {
+                let (streams, worker) = serialize_streams(op, tables)?;
+                let (survivors, extra) = run_passes(op, &streams, &mut engine)?;
+                let max = max_worker_entries_of(&streams);
+                let stats = engine.stats();
+                park_installed(spec, self.profile.clone(), usage, engine);
+                (survivors, worker + extra, max, stats, ExecBackend::Compiled)
+            }
+            None => {
+                let (pipeline, program) = interp.expect("interpreted path always plans");
+                let (streams, worker) = serialize_streams(op, tables)?;
+                let mut engine = InterpretedEngine::new(pipeline, program);
+                let (survivors, extra) = run_passes(op, &streams, &mut engine)?;
+                let max = max_worker_entries_of(&streams);
+                (
+                    survivors,
+                    worker + extra,
+                    max,
+                    PruneEngine::stats(&engine),
+                    ExecBackend::Interpreted,
+                )
+            }
+        };
 
         // Master: complete the unchanged query on the survivors.
         let t0 = Instant::now();
         let output = op.complete(tables, &survivors);
         let master_seconds = t0.elapsed().as_secs_f64();
-
-        let stats = pruner.program().stats(program);
         let survivor_count: u64 = survivors.iter().map(|s| s.len() as u64).sum();
-        let max_worker_entries =
-            streams.iter().flat_map(|st| st.iter()).map(|s| s.len() as u64).max().unwrap_or(0);
         let passes = op.pass_plan().wire_passes();
         Ok(CheetahRun {
             output,
@@ -125,11 +279,123 @@ impl Cluster {
                 plan: None,
                 overlap_seconds: 0.0,
                 replans: 0,
+                backend,
             },
             switch_stats: stats,
             rules: usage.rules,
         })
     }
+}
+
+/// Serialize every stream of the source; returns the per-stream,
+/// per-partition entry streams and the summed worker time.
+fn serialize_streams<'a, O>(
+    op: &O,
+    tables: &Tables<'a>,
+) -> cheetah_core::Result<(Vec<Vec<Vec<Encoded>>>, f64)>
+where
+    O: PruningOperator<Tables<'a>, Encoded, Output = QueryOutput>,
+{
+    let mut streams: Vec<Vec<Vec<Encoded>>> = Vec::with_capacity(op.streams());
+    let mut worker_seconds = 0.0;
+    for s in 0..op.streams() {
+        let (stream, wt) = serialize(op, tables, s)?;
+        worker_seconds += wt;
+        streams.push(stream);
+    }
+    Ok((streams, worker_seconds))
+}
+
+/// The largest per-partition entry count across all streams — the
+/// worker-wire unit of the byte model.
+fn max_worker_entries_of(streams: &[Vec<Vec<Encoded>>]) -> u64 {
+    streams.iter().flat_map(|st| st.iter()).map(|s| s.len() as u64).max().unwrap_or(0)
+}
+
+/// The compiled fast path for [`PassPlan::Single`] operators: encode each
+/// partition through the operator's hoisted
+/// [`encode_part`](PruningOperator::encode_part) into a flat, reused slot
+/// buffer and stream it through the kernel in the same breath. No
+/// full-stream `Encoded` materialization — only survivors are built.
+///
+/// Bit-identity with serialize + [`run_passes`] holds by construction:
+/// the slot values, the per-partition offer order, and the kernel are all
+/// identical; the only thing that changes is when (and for which rows)
+/// the `Encoded` wrapper exists. The byte model is likewise unchanged —
+/// every row still crosses the worker wire, so `max_worker_entries` comes
+/// from the partition row counts exactly as the materialized path counts
+/// them.
+///
+/// Returns (survivors, worker seconds spent encoding, max worker
+/// entries).
+fn run_fused_single<'a, O, E>(
+    op: &O,
+    tables: &Tables<'a>,
+    engine: &mut E,
+) -> cheetah_core::Result<(Vec<Vec<Encoded>>, f64, u64)>
+where
+    O: PruningOperator<Tables<'a>, Encoded, Output = QueryOutput>,
+    E: PruneEngine,
+{
+    let mut survivors: Vec<Vec<Encoded>> = vec![Vec::new(); op.streams()];
+    let mut worker_seconds = 0.0;
+    let mut max_entries = 0u64;
+    // Reused across partitions *and* across runs on the same worker
+    // thread: the flat slot buffer, the row-boundary offsets into it, and
+    // the forwarded-row index list.
+    let FusedScratch { mut buf, mut offsets, mut forwarded } =
+        FUSED_SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    buf.clear();
+    offsets.clear();
+    forwarded.clear();
+    for (s, out) in survivors.iter_mut().enumerate() {
+        let fid = op.flow_id(s);
+        let parts = tables.stream(s)?.partitions();
+        for (pi, part) in parts.iter().enumerate() {
+            let rows = part.rows();
+            max_entries = max_entries.max(rows as u64);
+            if rows == 0 {
+                continue;
+            }
+            let t0 = Instant::now();
+            buf.clear();
+            offsets.clear();
+            offsets.push(0);
+            let mut overflow = None;
+            op.encode_part(tables, s, pi, rows, &mut |slots| {
+                if slots.len() > Encoded::MAX_SLOTS {
+                    overflow = Some(slots.len());
+                }
+                buf.extend_from_slice(slots);
+                offsets.push(buf.len());
+            });
+            worker_seconds += t0.elapsed().as_secs_f64();
+            // The same typed error the materialized path raises on its
+            // first oversized row.
+            if let Some(got) = overflow {
+                return Err(cheetah_core::Error::ValueSlotOverflow {
+                    got,
+                    max: Encoded::MAX_SLOTS,
+                });
+            }
+            assert_eq!(
+                offsets.len(),
+                rows + 1,
+                "encode_part must call its sink exactly once per row"
+            );
+            forwarded.clear();
+            engine.offer_run(fid, offsets.windows(2).map(|w| &buf[w[0]..w[1]]), |i, v| {
+                if v == Verdict::Forward {
+                    forwarded.push(i);
+                }
+            })?;
+            for &r in &forwarded {
+                out.push(Encoded::new(pi, r, &buf[offsets[r]..offsets[r + 1]])?);
+            }
+        }
+    }
+    FUSED_SCRATCH.with(|s| *s.borrow_mut() = FusedScratch { buf, offsets, forwarded });
+    Ok((survivors, worker_seconds, max_entries))
 }
 
 /// Serialize stream `stream` of the source through the operator's row
@@ -183,14 +449,14 @@ where
 /// pass, per the operator's [`PassPlan`]. Returns the per-stream
 /// survivors plus any worker-side time the plan itself cost (HAVING's
 /// candidate re-stream).
-fn run_passes<'a, O>(
+fn run_passes<'a, O, E>(
     op: &O,
     streams: &[Vec<Vec<Encoded>>],
-    pruner: &mut StandalonePruner<Pipeline>,
-    program: ProgramId,
+    engine: &mut E,
 ) -> cheetah_core::Result<(Vec<Vec<Encoded>>, f64)>
 where
     O: PruningOperator<Tables<'a>, Encoded, Output = QueryOutput>,
+    E: PruneEngine,
 {
     let mut survivors: Vec<Vec<Encoded>> = vec![Vec::new(); op.streams()];
     let mut extra_worker = 0.0;
@@ -199,13 +465,10 @@ where
     // The runs go through `offer_run`, which hoists the flow dispatch
     // out of the inner loop — one slot lookup per partition, not one
     // per entry.
-    let collect = |pruner: &mut StandalonePruner<Pipeline>,
-                   s: usize,
-                   out: &mut Vec<Encoded>|
-     -> cheetah_core::Result<()> {
+    let collect = |engine: &mut E, s: usize, out: &mut Vec<Encoded>| -> cheetah_core::Result<()> {
         let fid = op.flow_id(s);
         for part in &streams[s] {
-            pruner.offer_run(fid, part.iter().map(Encoded::values), |i, v| {
+            engine.offer_run(fid, part.iter().map(Encoded::values), |i, v| {
                 if v == Verdict::Forward {
                     out.push(part[i]);
                 }
@@ -217,7 +480,7 @@ where
     match op.pass_plan() {
         PassPlan::Single => {
             for (s, out) in survivors.iter_mut().enumerate() {
-                collect(pruner, s, out)?;
+                collect(engine, s, out)?;
             }
         }
         PassPlan::BuildThenPrune => {
@@ -225,22 +488,22 @@ where
             for (s, stream) in streams.iter().enumerate() {
                 let fid = op.flow_id(s);
                 for part in stream {
-                    pruner.offer_run(fid, part.iter().map(Encoded::values), |_, _| {})?;
+                    engine.offer_run(fid, part.iter().map(Encoded::values), |_, _| {})?;
                 }
             }
-            pruner.program_mut().control(program, &ControlMsg::SetPhase(2))?;
+            engine.set_phase(2)?;
             // Pass 2: prune every stream.
             for (s, out) in survivors.iter_mut().enumerate() {
-                collect(pruner, s, out)?;
+                collect(engine, s, out)?;
             }
         }
         PassPlan::FirstBuildsThenPruneSecond => {
             // Stream 0 streams once: unpruned, building its filter on the
             // way through.
-            collect(pruner, 0, &mut survivors[0])?;
-            pruner.program_mut().control(program, &ControlMsg::SetPhase(2))?;
+            collect(engine, 0, &mut survivors[0])?;
+            engine.set_phase(2)?;
             // Stream 1 is pruned against the filter.
-            collect(pruner, 1, &mut survivors[1])?;
+            collect(engine, 1, &mut survivors[1])?;
         }
         PassPlan::CandidateKeys { key_slot } => {
             // A malformed operator that encodes fewer slots than its own
@@ -259,7 +522,7 @@ where
             let mut candidates: HashSet<u64> = HashSet::new();
             for part in &streams[0] {
                 let mut announced: Vec<usize> = Vec::new();
-                pruner.offer_run(fid, part.iter().map(Encoded::values), |i, v| {
+                engine.offer_run(fid, part.iter().map(Encoded::values), |i, v| {
                     if v == Verdict::Forward {
                         announced.push(i);
                     }

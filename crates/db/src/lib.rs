@@ -52,11 +52,14 @@ mod testutil;
 
 pub use cheetah_core::plan::{PlanDecision, PlanReport, ShardPlan};
 pub use cheetah_core::{ShardPartitioner, Sharder};
-pub use engine::{CheetahRun, CheetahTuning, Cluster, ExecBreakdown, SparkRun};
-pub use executor::Tables;
+pub use engine::{CheetahRun, CheetahTuning, Cluster, ExecBackend, ExecBreakdown, SparkRun};
+pub use executor::{InterpretedEngine, Tables};
 pub use expr::{DbPredicate, IntCmp, LikePattern};
 pub use master::{decompose_output, merge_shard_outputs, MasterIngestModel, MergeItem, MergeState};
-pub use planner::{fixed_sharder, routing_keys, Calibration, PlannerConfig, ShardPlanner};
+pub use planner::{
+    fixed_sharder, routing_keys, Calibration, ChooserArm, ExecPath, PathChooser, PlannerConfig,
+    ShardPlanner,
+};
 pub use query::{DbQuery, QueryOutput};
 pub use sharded::{finish_sharded, route_range, ShardSpec, ShardStats, ShardedRun};
 pub use table::{Column, Partition, Table, TableBuilder};

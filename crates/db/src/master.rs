@@ -61,6 +61,27 @@ use std::collections::{BTreeMap, BTreeSet};
 /// is decomposed into its [`MergeItem`]s and folded through a
 /// [`MergeState`].
 pub fn merge_shard_outputs(q: &DbQuery, outputs: Vec<QueryOutput>) -> QueryOutput {
+    // GROUP BY MAX folds whole shard maps key-union-wise. The fold is the
+    // same entry-max as [`MergeState`]'s (associative, order-insensitive),
+    // but map-into-map skips the per-item decompose/ingest machinery that
+    // only the streamed plane's framing needs.
+    if let DbQuery::GroupByMax { .. } = q {
+        let mut acc: BTreeMap<Value, i64> = BTreeMap::new();
+        for o in outputs {
+            let m = match o {
+                QueryOutput::KeyedInts(m) => m,
+                other => mismatch("KeyedInts", &other),
+            };
+            if acc.is_empty() {
+                acc = m;
+                continue;
+            }
+            for (k, v) in m {
+                acc.entry(k).and_modify(|x| *x = (*x).max(v)).or_insert(v);
+            }
+        }
+        return QueryOutput::KeyedInts(acc);
+    }
     let mut state = MergeState::new(q);
     for o in outputs {
         state.ingest_batch(decompose_output(q, o));

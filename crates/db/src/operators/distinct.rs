@@ -8,9 +8,11 @@ use super::encode_key;
 use crate::engine::CheetahTuning;
 use crate::executor::Tables;
 use crate::query::QueryOutput;
-use crate::value::Value;
+use crate::table::Column;
+use crate::value::{encode_ordered_i64, Value};
 use cheetah_core::{DistinctConfig, PruningOperator, QuerySpec};
 use cheetah_net::Encoded;
+use cheetah_switch::HashFn;
 
 /// The DISTINCT operator.
 pub struct DistinctOp {
@@ -40,6 +42,32 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for DistinctOp {
     fn encode(&self, src: &Tables<'a>, stream: usize, part: usize, row: usize, out: &mut Vec<u64>) {
         let p = &super::stream_table(src, stream).partitions()[part];
         out.push(encode_key(self.seed, &p.column(self.col).get(row)));
+    }
+
+    fn encode_part(
+        &self,
+        src: &Tables<'a>,
+        stream: usize,
+        part: usize,
+        rows: usize,
+        sink: &mut dyn FnMut(&[u64]),
+    ) {
+        // Hoisted twin of `encode`: one type dispatch per partition, no
+        // per-row `Value` boxing (string keys hash in place).
+        let p = &super::stream_table(src, stream).partitions()[part];
+        match p.column(self.col) {
+            Column::Int(v) => {
+                for &x in &v[..rows] {
+                    sink(&[encode_ordered_i64(x)]);
+                }
+            }
+            Column::Str(v) => {
+                let h = HashFn::from_seed(self.seed);
+                for s in &v[..rows] {
+                    sink(&[h.hash_bytes(s.as_bytes()) >> 1]);
+                }
+            }
+        }
     }
 
     fn complete(&self, src: &Tables<'a>, survivors: &[Vec<Encoded>]) -> QueryOutput {

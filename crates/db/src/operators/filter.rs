@@ -50,6 +50,28 @@ impl<'a, 'q> PruningOperator<Tables<'a>, Encoded> for FilterOp<'q> {
         );
     }
 
+    fn encode_part(
+        &self,
+        src: &Tables<'a>,
+        stream: usize,
+        part: usize,
+        rows: usize,
+        sink: &mut dyn FnMut(&[u64]),
+    ) {
+        // Hoisted twin of `encode`: resolve every referenced column to a
+        // raw slice once per partition.
+        let p = &super::stream_table(src, stream).partitions()[part];
+        let cols: Vec<&[i64]> =
+            self.slots.iter().map(|&c| p.column(c).as_int().expect("int filter col")).collect();
+        let mut slots = vec![0u64; cols.len()];
+        for r in 0..rows {
+            for (out, col) in slots.iter_mut().zip(&cols) {
+                *out = encode_ordered_i64(col[r]);
+            }
+            sink(&slots);
+        }
+    }
+
     fn complete(&self, src: &Tables<'a>, survivors: &[Vec<Encoded>]) -> QueryOutput {
         // Master: fetch survivors, evaluate the FULL predicate (including
         // atoms the switch replaced by tautologies), count.

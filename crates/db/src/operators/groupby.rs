@@ -8,9 +8,11 @@ use super::{encode_i64_32, encode_key};
 use crate::engine::CheetahTuning;
 use crate::executor::Tables;
 use crate::query::QueryOutput;
-use crate::value::Value;
+use crate::table::Column;
+use crate::value::{encode_ordered_i64, Value};
 use cheetah_core::{AggKind, GroupByConfig, PruningOperator, QuerySpec};
 use cheetah_net::Encoded;
+use cheetah_switch::HashFn;
 use std::collections::HashMap;
 
 /// The GROUP BY (MAX) operator.
@@ -59,15 +61,62 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for GroupByMaxOp {
         out.push(encode_i64_32(p.column(self.val_col).as_int().expect("int agg col")[row]));
     }
 
-    fn complete(&self, src: &Tables<'a>, survivors: &[Vec<Encoded>]) -> QueryOutput {
-        let mut best: HashMap<Value, i64> = HashMap::new();
-        for e in &survivors[0] {
-            let (pi, r) = e.id();
-            let p = &src.left.partitions()[pi];
-            let k = p.column(self.key_col).get(r);
-            let v = p.column(self.val_col).as_int().expect("int agg col")[r];
-            best.entry(k).and_modify(|m| *m = (*m).max(v)).or_insert(v);
+    fn encode_part(
+        &self,
+        src: &Tables<'a>,
+        stream: usize,
+        part: usize,
+        rows: usize,
+        sink: &mut dyn FnMut(&[u64]),
+    ) {
+        // Hoisted twin of `encode`: key-column type dispatch once per
+        // partition, aggregate column taken as a raw slice.
+        let p = &super::stream_table(src, stream).partitions()[part];
+        let vals = p.column(self.val_col).as_int().expect("int agg col");
+        match p.column(self.key_col) {
+            Column::Int(keys) => {
+                for r in 0..rows {
+                    sink(&[encode_ordered_i64(keys[r]), encode_i64_32(vals[r])]);
+                }
+            }
+            Column::Str(keys) => {
+                let h = HashFn::from_seed(self.seed);
+                for r in 0..rows {
+                    sink(&[h.hash_bytes(keys[r].as_bytes()) >> 1, encode_i64_32(vals[r])]);
+                }
+            }
         }
-        QueryOutput::KeyedInts(best.into_iter().collect())
+    }
+
+    fn complete(&self, src: &Tables<'a>, survivors: &[Vec<Encoded>]) -> QueryOutput {
+        // Aggregate by *borrowed* key — the owned `Value` keys (one clone
+        // per group, not per survivor) only materialize in the final map.
+        let parts = src.left.partitions();
+        match parts.first().map(|p| p.column(self.key_col)) {
+            Some(Column::Str(_)) => {
+                let mut best: HashMap<&str, i64> = HashMap::new();
+                for e in &survivors[0] {
+                    let (pi, r) = e.id();
+                    let p = &parts[pi];
+                    let k = p.column(self.key_col).as_str().expect("str key col")[r].as_str();
+                    let v = p.column(self.val_col).as_int().expect("int agg col")[r];
+                    best.entry(k).and_modify(|m| *m = (*m).max(v)).or_insert(v);
+                }
+                QueryOutput::KeyedInts(
+                    best.into_iter().map(|(k, v)| (Value::Str(k.to_string()), v)).collect(),
+                )
+            }
+            _ => {
+                let mut best: HashMap<i64, i64> = HashMap::new();
+                for e in &survivors[0] {
+                    let (pi, r) = e.id();
+                    let p = &parts[pi];
+                    let k = p.column(self.key_col).as_int().expect("int key col")[r];
+                    let v = p.column(self.val_col).as_int().expect("int agg col")[r];
+                    best.entry(k).and_modify(|m| *m = (*m).max(v)).or_insert(v);
+                }
+                QueryOutput::KeyedInts(best.into_iter().map(|(k, v)| (Value::Int(k), v)).collect())
+            }
+        }
     }
 }

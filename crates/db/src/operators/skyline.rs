@@ -51,6 +51,28 @@ impl<'a, 'q> PruningOperator<Tables<'a>, Encoded> for SkylineOp<'q> {
         );
     }
 
+    fn encode_part(
+        &self,
+        src: &Tables<'a>,
+        stream: usize,
+        part: usize,
+        rows: usize,
+        sink: &mut dyn FnMut(&[u64]),
+    ) {
+        // Hoisted twin of `encode`: resolve every dimension column to a
+        // raw slice once per partition.
+        let p = &super::stream_table(src, stream).partitions()[part];
+        let cols: Vec<&[i64]> =
+            self.cols.iter().map(|&c| p.column(c).as_int().expect("int skyline col")).collect();
+        let mut slots = vec![0u64; cols.len()];
+        for r in 0..rows {
+            for (out, col) in slots.iter_mut().zip(&cols) {
+                *out = encode_i64_32(col[r]);
+            }
+            sink(&slots);
+        }
+    }
+
     fn complete(&self, src: &Tables<'a>, survivors: &[Vec<Encoded>]) -> QueryOutput {
         let pts: Vec<Vec<i64>> = survivors[0]
             .iter()

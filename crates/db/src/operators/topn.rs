@@ -42,6 +42,23 @@ impl<'a> PruningOperator<Tables<'a>, Encoded> for TopNOp {
         out.push(encode_i64_32(p.column(self.col).as_int().expect("int order col")[row]));
     }
 
+    fn encode_part(
+        &self,
+        src: &Tables<'a>,
+        stream: usize,
+        part: usize,
+        rows: usize,
+        sink: &mut dyn FnMut(&[u64]),
+    ) {
+        // Hoisted twin of `encode`: the order column resolves to a raw
+        // slice once per partition.
+        let p = &super::stream_table(src, stream).partitions()[part];
+        let vals = p.column(self.col).as_int().expect("int order col");
+        for &v in &vals[..rows] {
+            sink(&[encode_i64_32(v)]);
+        }
+    }
+
     fn complete(&self, src: &Tables<'a>, survivors: &[Vec<Encoded>]) -> QueryOutput {
         let vals: Vec<i64> = survivors[0]
             .iter()

@@ -67,6 +67,12 @@ pub struct PlannerConfig {
     /// this config's constants came from a probe instead of the
     /// hard-coded defaults.
     pub calibration: Option<Calibration>,
+    /// Measured survivor volume (`entries_to_master`) from a previous run
+    /// of the same query, when a [`PathChooser`] (or caller) observed one.
+    /// Overrides the distinct-estimate proxy in the merge model — crucial
+    /// for high-fanout JOINs, where survivors are matching *rows*, not
+    /// distinct keys, and the proxy under-prices the merge badly.
+    pub survivor_hint: Option<u64>,
 }
 
 impl Default for PlannerConfig {
@@ -78,6 +84,7 @@ impl Default for PlannerConfig {
             per_shard_overhead_seconds: 300e-6,
             ingest: MasterIngestModel::default_rack(),
             calibration: None,
+            survivor_hint: None,
         }
     }
 }
@@ -257,11 +264,19 @@ impl ShardPlanner {
             );
         }
 
-        // Survivor-volume proxy for the merge model: roughly one survivor
+        // Survivor volume for the merge model. A measured hint (fed back
+        // by a [`PathChooser`] from an observed `entries_to_master`) wins
+        // outright — it is reality, and deliberately NOT clamped to
+        // `rows`: a two-pass JOIN delivers matching rows from *both*
+        // streams, which the per-stream row count would truncate. Absent
+        // a measurement, fall back to the proxy of roughly one survivor
         // per distinct routing key (keyed queries forward per-key
         // champions; scans route by unique row-id hashes, making this
         // `rows` — conservatively assuming nothing is pruned).
-        let survivors = (stats.distinct_estimate.round() as u64).clamp(1, stats.rows);
+        let survivors = match self.cfg.survivor_hint {
+            Some(measured) => measured.max(1),
+            None => (stats.distinct_estimate.round() as u64).clamp(1, stats.rows),
+        };
 
         // Walk the fan-in curve: per candidate count, the hottest shard's
         // share of the rows at the CWorker send rate, plus modelled
@@ -376,6 +391,210 @@ impl ShardPlanner {
                 reason: format!("chose 1 shard: {why}"),
             },
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The online path chooser: a tiny deterministic UCB bandit over
+// (execution path × pruning backend), tuned from observed breakdowns.
+// ---------------------------------------------------------------------
+
+/// Which execution twin a run goes through. The chooser scores these
+/// against each other; the caller maps the choice onto the concrete entry
+/// points (`run_cheetah_presplit` on the worker pool for the barrier twin,
+/// `run_cheetah_streamed_resident` for the streamed one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// Pre-split shards on the shared worker pool, barrier merge.
+    BarrierPooled,
+    /// Resident stream units with the overlapped merge plane.
+    StreamedResident,
+}
+
+impl ExecPath {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecPath::BarrierPooled => "pooled",
+            ExecPath::StreamedResident => "streamed",
+        }
+    }
+}
+
+/// One pullable arm: an execution path on a pruning backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChooserArm {
+    /// The execution twin.
+    pub path: ExecPath,
+    /// The pruning engine.
+    pub backend: cheetah_net::ExecBackend,
+}
+
+impl ChooserArm {
+    /// `"pooled/compiled"`-style label for reports and assertions.
+    pub fn label(self) -> String {
+        format!("{}/{}", self.path.label(), self.backend.label())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ArmState {
+    arm: ChooserArm,
+    plays: u64,
+    total_cost: f64,
+}
+
+impl ArmState {
+    fn mean(&self) -> f64 {
+        self.total_cost / self.plays.max(1) as f64
+    }
+}
+
+/// A deterministic UCB1 bandit over the four (path × backend) arms,
+/// learning online which execution strategy completes this query cheapest
+/// — the Cuttlefish idea, shrunk to the two axes this engine actually
+/// exposes. Costs are modelled completion seconds from observed
+/// [`cheetah_net::ExecBreakdown`]s, so the chooser weighs real measured work plus the
+/// byte-model transfer, exactly what the planner prices.
+///
+/// Determinism: arms are played in declaration order until each has one
+/// observation, then the arm minimizing `mean − c·s·√(2·ln N / n)` (the
+/// lower confidence bound — we minimize cost) is chosen; ties break to
+/// the earliest arm. No RNG anywhere, so repeated runs reproduce.
+///
+/// `s` is the cheapest observed mean: textbook UCB1 assumes rewards in
+/// `[0, 1]`, but completion costs are whatever the workload makes them —
+/// seconds on paper-scale streams, microseconds on a smoke table. An
+/// *absolute* bonus would drown sub-millisecond cost gaps and degenerate
+/// into round-robin, so the bonus is rescaled by the observed cost floor,
+/// making the pick sequence invariant to the unit of cost.
+///
+/// The chooser also remembers the latest measured `entries_to_master`;
+/// [`PathChooser::informed`] feeds it into a [`PlannerConfig`] as the
+/// [`survivor_hint`](PlannerConfig::survivor_hint), re-pricing the merge
+/// from reality instead of the distinct-estimate proxy.
+#[derive(Debug, Clone)]
+pub struct PathChooser {
+    arms: [ArmState; 4],
+    link_gbps: f64,
+    explore: f64,
+    measured_survivors: Option<u64>,
+}
+
+impl PathChooser {
+    /// The four arms, in deterministic play order.
+    pub const ARMS: [ChooserArm; 4] = [
+        ChooserArm {
+            path: ExecPath::BarrierPooled,
+            backend: cheetah_net::ExecBackend::Interpreted,
+        },
+        ChooserArm { path: ExecPath::BarrierPooled, backend: cheetah_net::ExecBackend::Compiled },
+        ChooserArm {
+            path: ExecPath::StreamedResident,
+            backend: cheetah_net::ExecBackend::Interpreted,
+        },
+        ChooserArm {
+            path: ExecPath::StreamedResident,
+            backend: cheetah_net::ExecBackend::Compiled,
+        },
+    ];
+
+    /// A chooser costing completions over `link_gbps` links.
+    pub fn new(link_gbps: f64) -> Self {
+        Self {
+            arms: Self::ARMS.map(|arm| ArmState { arm, plays: 0, total_cost: 0.0 }),
+            link_gbps,
+            // Softer than the textbook √2: with the bonus rescaled to
+            // the observed cost floor, √2 would spend tens of pulls per
+            // suboptimal arm before exploiting — too slow for the dozens
+            // of repeats a query realistically gets. 0.5 still re-probes
+            // arms whose gap is within ~½ of the floor.
+            explore: 0.5,
+            measured_survivors: None,
+        }
+    }
+
+    /// Total observations across all arms.
+    pub fn plays(&self) -> u64 {
+        self.arms.iter().map(|a| a.plays).sum()
+    }
+
+    /// The arm to play next: each arm once, then lowest confidence bound.
+    pub fn next(&self) -> ChooserArm {
+        if let Some(unplayed) = self.arms.iter().find(|a| a.plays == 0) {
+            return unplayed.arm;
+        }
+        let n = self.plays() as f64;
+        // The cost floor every bonus is expressed in units of — all four
+        // arms have been played when we reach here.
+        let scale = self
+            .arms
+            .iter()
+            .map(ArmState::mean)
+            .fold(f64::INFINITY, f64::min)
+            .max(f64::MIN_POSITIVE);
+        self.arms
+            .iter()
+            .map(|a| {
+                (a.arm, a.mean() - self.explore * scale * (2.0 * n.ln() / a.plays as f64).sqrt())
+            })
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite costs"))
+            .map(|(arm, _)| arm)
+            .expect("four arms")
+    }
+
+    /// How many times `arm` has been played.
+    pub fn plays_of(&self, arm: ChooserArm) -> u64 {
+        self.arms.iter().find(|a| a.arm == arm).map_or(0, |a| a.plays)
+    }
+
+    /// Record what one run of `arm` cost, and remember its measured
+    /// survivor volume for [`PathChooser::informed`].
+    pub fn observe(&mut self, arm: ChooserArm, breakdown: &cheetah_net::ExecBreakdown) {
+        let cost = breakdown.completion_seconds(self.link_gbps);
+        let state =
+            self.arms.iter_mut().find(|a| a.arm == arm).expect("observed arm is one of the four");
+        state.plays += 1;
+        state.total_cost += cost;
+        self.measured_survivors = Some(breakdown.entries_to_master);
+    }
+
+    /// The arm with the lowest observed mean cost (exploitation only —
+    /// what the bandit has converged to). Unplayed arms are ignored;
+    /// before any observation, the first arm.
+    pub fn best(&self) -> ChooserArm {
+        self.arms
+            .iter()
+            .filter(|a| a.plays > 0)
+            .min_by(|a, b| a.mean().partial_cmp(&b.mean()).expect("finite costs"))
+            .map(|a| a.arm)
+            .unwrap_or(Self::ARMS[0])
+    }
+
+    /// Observed mean completion cost of `arm`, if it has been played.
+    pub fn mean_cost(&self, arm: ChooserArm) -> Option<f64> {
+        self.arms.iter().find(|a| a.arm == arm && a.plays > 0).map(ArmState::mean)
+    }
+
+    /// Total cost paid across every observation — the numerator of a
+    /// cumulative-regret comparison against any fixed strategy.
+    pub fn cumulative_cost(&self) -> f64 {
+        self.arms.iter().map(|a| a.total_cost).sum()
+    }
+
+    /// The latest measured `entries_to_master`, once any run was observed.
+    pub fn measured_survivors(&self) -> Option<u64> {
+        self.measured_survivors
+    }
+
+    /// Feed the measured survivor volume back into a planner config: the
+    /// returned config prices the merge from the observed
+    /// `entries_to_master` instead of the distinct-estimate proxy.
+    pub fn informed(&self, mut cfg: PlannerConfig) -> PlannerConfig {
+        if let Some(measured) = self.measured_survivors {
+            cfg.survivor_hint = Some(measured);
+        }
+        cfg
     }
 }
 
@@ -513,6 +732,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::ExecBreakdown;
     use crate::testutil::test_table;
 
     #[test]
@@ -601,6 +821,131 @@ mod tests {
         let cfg = PlannerConfig::default().calibrate(&cluster, &Tables::unary(&t));
         assert_eq!(cfg, PlannerConfig::default());
         assert!(cfg.calibration.is_none());
+    }
+
+    /// High-fanout join: few distinct keys, every row matches. Survivors
+    /// are matching *rows* from both streams; the distinct-key proxy is
+    /// off by orders of magnitude.
+    fn high_fanout_tables() -> (Table, Table) {
+        let fields = vec![
+            ("k".into(), crate::value::DataType::Int),
+            ("v".into(), crate::value::DataType::Int),
+        ];
+        let mut l = crate::table::TableBuilder::new("l", fields.clone(), 1000);
+        let mut r = crate::table::TableBuilder::new("r", fields, 1000);
+        for i in 0..3000i64 {
+            l.push_row(vec![crate::value::Value::Int(i % 8), crate::value::Value::Int(i)]);
+            r.push_row(vec![crate::value::Value::Int(i % 8), crate::value::Value::Int(-i)]);
+        }
+        (l.build(), r.build())
+    }
+
+    #[test]
+    fn measured_survivors_reprice_the_high_fanout_join_merge() {
+        // The satellite-1 regression: without feedback the planner prices
+        // the JOIN merge from ~8 distinct keys; the run actually delivers
+        // thousands of matching rows to the master. Learning the measured
+        // `entries_to_master` must close that >2× under-pricing.
+        let cluster = Cluster::default();
+        let (l, r) = high_fanout_tables();
+        let q = DbQuery::Join { left_key: 0, right_key: 0 };
+        let measured = cluster.run_cheetah(&q, &l, Some(&r)).unwrap().breakdown.entries_to_master;
+        assert!(measured > 1_000, "high-fanout adversary must flood the master: {measured}");
+
+        let seed = cluster.tuning.seed;
+        let blind = ShardPlanner::default();
+        let blind_plan = blind.plan(&q, &l, Some(&r), seed);
+        let mut chooser = PathChooser::new(10.0);
+        chooser.observe(
+            PathChooser::ARMS[0],
+            &ExecBreakdown { entries_to_master: measured, ..ExecBreakdown::default() },
+        );
+        let informed = ShardPlanner::new(chooser.informed(PlannerConfig::default()));
+        let informed_plan = informed.plan(&q, &l, Some(&r), seed);
+
+        // Compare the merge model at every candidate shard count, with the
+        // fixed per-shard overhead subtracted so only the survivor term
+        // speaks. The truth is the ingest price of the measured volume.
+        let ingest = MasterIngestModel::default_rack();
+        let overhead = |n: usize| n as f64 * blind.cfg.per_shard_overhead_seconds;
+        for (b, i) in blind_plan.report.curve.iter().zip(&informed_plan.report.curve) {
+            assert_eq!(b.shards, i.shards);
+            let truth = ingest.planning_latency(b.shards, measured);
+            let blind_price = b.merge_seconds - overhead(b.shards);
+            let informed_price = i.merge_seconds - overhead(i.shards);
+            assert!(
+                truth > 2.0 * blind_price,
+                "adversary no longer exhibits the undershoot at {} shards: \
+                 truth {truth}, blind {blind_price}",
+                b.shards
+            );
+            assert!(
+                truth <= 2.0 * informed_price,
+                "informed planner still under-prices the merge by >2× at {} shards: \
+                 truth {truth}, informed {informed_price}",
+                b.shards
+            );
+        }
+    }
+
+    #[test]
+    fn chooser_plays_every_arm_once_then_converges_to_the_cheapest() {
+        let mut chooser = PathChooser::new(10.0);
+        // Deterministic cost per arm: streamed/compiled is the cheapest.
+        let cost_of = |arm: ChooserArm| match (arm.path, arm.backend) {
+            (ExecPath::BarrierPooled, crate::engine::ExecBackend::Interpreted) => 4.0,
+            (ExecPath::BarrierPooled, crate::engine::ExecBackend::Compiled) => 2.0,
+            (ExecPath::StreamedResident, crate::engine::ExecBackend::Interpreted) => 3.0,
+            (ExecPath::StreamedResident, crate::engine::ExecBackend::Compiled) => 1.0,
+        };
+        let mut seen = Vec::new();
+        for _ in 0..40 {
+            let arm = chooser.next();
+            seen.push(arm);
+            chooser.observe(
+                arm,
+                &ExecBreakdown { master_seconds: cost_of(arm), ..ExecBreakdown::default() },
+            );
+        }
+        // Warm-up: the four arms in declaration order.
+        assert_eq!(&seen[..4], &PathChooser::ARMS);
+        let winner = ChooserArm {
+            path: ExecPath::StreamedResident,
+            backend: crate::engine::ExecBackend::Compiled,
+        };
+        assert_eq!(chooser.best(), winner);
+        // Converged: the cheapest arm dominates the post-warm-up plays.
+        let wins = seen[4..].iter().filter(|a| **a == winner).count();
+        assert!(wins * 2 > seen.len() - 4, "winner played only {wins}/{}", seen.len() - 4);
+        // And the bandit's average cost beats the worst fixed strategy.
+        let avg = chooser.cumulative_cost() / chooser.plays() as f64;
+        assert!(avg < 4.0, "bandit average {avg} not better than always-worst");
+    }
+
+    #[test]
+    fn chooser_is_deterministic() {
+        let run = || {
+            let mut c = PathChooser::new(10.0);
+            let mut picked = Vec::new();
+            for i in 0..20u64 {
+                let arm = c.next();
+                picked.push(arm.label());
+                c.observe(
+                    arm,
+                    &ExecBreakdown {
+                        master_seconds: (i % 5) as f64
+                            + if arm.backend == crate::engine::ExecBackend::Compiled {
+                                0.0
+                            } else {
+                                1.0
+                            },
+                        ..ExecBreakdown::default()
+                    },
+                );
+            }
+            picked
+        };
+        assert_eq!(run(), run(), "no RNG: identical histories must replay identically");
     }
 
     #[test]

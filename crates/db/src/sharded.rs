@@ -307,6 +307,10 @@ pub fn finish_sharded(
     });
     let passes = runs.iter().map(|r| r.breakdown.passes).max().unwrap_or(1);
     let rules = runs.iter().map(|r| r.rules).max().unwrap_or(0);
+    // Every shard ran the same cluster, so the first run's backend speaks
+    // for all of them (a compiled-requested run that fell back records
+    // the fallback here too).
+    let backend = runs.first().map(|r| r.breakdown.backend).unwrap_or_default();
 
     // Master: merge the shard outputs. Stats are extracted above so
     // the outputs move into the merge — the timed window is the
@@ -330,6 +334,7 @@ pub fn finish_sharded(
         plan: Some(decision),
         overlap_seconds: 0.0,
         replans: 0,
+        backend,
     };
     ShardedRun { output, breakdown, switch_stats, per_shard, merge_seconds, rules, plan }
 }

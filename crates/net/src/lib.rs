@@ -42,7 +42,7 @@ pub mod wire;
 
 pub use channel::{FaultProfile, Link, LinkOutcome, SimRng, SimTime};
 pub use ingest::MasterIngestModel;
-pub use model::{Encoded, ExecBreakdown, ENTRY_WIRE_BYTES};
+pub use model::{Encoded, ExecBackend, ExecBreakdown, ENTRY_WIRE_BYTES};
 pub use reliability::{MasterFlow, SwitchAction, SwitchFlow, WorkerFlow};
 pub use stream::{emit_batch, FrameBuilder, SurvivorBatch, MAX_BATCH_ITEMS};
 pub use transfer::{TransferConfig, TransferReport, TransferSim};

@@ -70,6 +70,32 @@ impl PacketEntry for Encoded {
     }
 }
 
+/// Which pruning backend executed a run's switch program.
+///
+/// The interpreted [`Pipeline`](cheetah_switch::Pipeline) of boxed stages
+/// is the semantic oracle; the compiled backend runs the plan-time fused
+/// kernel ([`cheetah_core::CompiledProgram`]) — bit-identical verdicts,
+/// no per-entry virtual dispatch. Recorded in [`ExecBreakdown`] so every
+/// measurement says which engine produced it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecBackend {
+    /// Generic interpreted pipeline (the oracle).
+    #[default]
+    Interpreted,
+    /// Plan-time fused monomorphic kernel.
+    Compiled,
+}
+
+impl ExecBackend {
+    /// Short column label for benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecBackend::Interpreted => "interp",
+            ExecBackend::Compiled => "compiled",
+        }
+    }
+}
+
 /// Phase timings and transfer volumes of one execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExecBreakdown {
@@ -107,6 +133,10 @@ pub struct ExecBreakdown {
     /// boundaries for the remaining input). Zero for every path that
     /// plans once, up front.
     pub replans: u32,
+    /// Which pruning backend ran the switch program. When a compiled run
+    /// falls back to the interpreter (unsupported family), the value here
+    /// is what *actually* executed, not what was requested.
+    pub backend: ExecBackend,
 }
 
 impl Default for ExecBreakdown {
@@ -123,6 +153,7 @@ impl Default for ExecBreakdown {
             plan: None,
             overlap_seconds: 0.0,
             replans: 0,
+            backend: ExecBackend::default(),
         }
     }
 }

@@ -36,7 +36,7 @@ use cheetah_db::{
     decompose_output, fixed_sharder, route_range, routing_keys, Cluster, DbQuery, MergeState,
     QueryOutput, ShardStats, Table,
 };
-use cheetah_net::{ExecBreakdown, MasterIngestModel, SurvivorBatch, MAX_BATCH_ITEMS};
+use cheetah_net::{ExecBackend, ExecBreakdown, MasterIngestModel, SurvivorBatch, MAX_BATCH_ITEMS};
 use cheetah_switch::ProgramStats;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -189,6 +189,8 @@ struct WorkerReport {
     rules: usize,
     /// Seconds since the run epoch at which this worker went idle.
     finished_at: f64,
+    /// Pruning backend the worker's unit runs actually executed on.
+    backend: ExecBackend,
 }
 
 /// What the router hands back.
@@ -253,6 +255,7 @@ fn spawn_worker_plane(
                 rep.switch.forwarded += run.switch_stats.forwarded;
                 rep.passes = rep.passes.max(run.breakdown.passes);
                 rep.rules = rep.rules.max(run.rules);
+                rep.backend = run.breakdown.backend;
                 let items = decompose_output(&q, run.output);
                 for chunk in items.chunks(batch_size) {
                     // Encode each survivor once, straight into the
@@ -609,6 +612,8 @@ fn assemble(fold: Fold, ctx: AssembleCtx) -> StreamedRun {
         plan: Some(ctx.decision),
         overlap_seconds,
         replans,
+        // All workers clone one cluster; any report speaks for the run.
+        backend: reports.first().map(|r| r.backend).unwrap_or_default(),
     };
     let rules = reports.iter().map(|r| r.rules).max().unwrap_or(0);
     StreamedRun {
