@@ -14,6 +14,10 @@ SMOKE_STREAMED_TOLERANCE ?= 0.35
 # pool; they are expected to be *faster* than interpreted, but wall
 # clock on shared runners still gets a floor of its own.
 SMOKE_COMPILED_TOLERANCE ?= 0.35
+# The @serving row pushes a four-tenant closed-loop burst through the
+# Session front door, so it carries session-scheduler threading variance
+# on top of the pool's and gets its own wall-clock floor.
+SMOKE_SERVING_TOLERANCE ?= 0.35
 # Within-run gate: every smoke pass requires distinct@compiled and at
 # least one aggregate family to beat their interpreted @shards siblings
 # by this factor (same machine, same run — no cross-host comparison).
@@ -25,7 +29,7 @@ CROSSOVER_BASELINE ?= ci/crossover_baseline.json
 # itself is gated exactly (it may only ever move down).
 CROSSOVER_TOLERANCE ?= 0.35
 
-.PHONY: build test lint docs bench-compile bench-smoke bench-crossover shard-gate planner-gate runtime-gate compiled-gate
+.PHONY: build test lint docs bench-compile bench-smoke bench-crossover shard-gate planner-gate runtime-gate compiled-gate serving-gate
 
 build:
 	cargo build --release
@@ -67,6 +71,14 @@ runtime-gate:
 compiled-gate:
 	cargo test -q -p cheetah-db --test compiled_contract
 
+# The named CI gate: serving-plane contract — concurrent multi-tenant
+# requests through the Session front door bit-identical to sequential
+# baselines, no starvation under a flooding co-tenant, typed
+# Error::Overloaded past the in-flight bound, and plan-cache reuse that
+# never changes results.
+serving-gate:
+	cargo test -q -p cheetah-db --test serving_contract
+
 # The CI perf-smoke invocation, byte for byte: runs the fixed-seed smoke
 # pass, writes $(SMOKE_OUT), and fails on >$(SMOKE_TOLERANCE) regression
 # vs the checked-in baseline.
@@ -78,6 +90,7 @@ bench-smoke:
 		--smoke-planner-tolerance $(SMOKE_PLANNER_TOLERANCE) \
 		--smoke-streamed-tolerance $(SMOKE_STREAMED_TOLERANCE) \
 		--smoke-compiled-tolerance $(SMOKE_COMPILED_TOLERANCE) \
+		--smoke-serving-tolerance $(SMOKE_SERVING_TOLERANCE) \
 		--smoke-compiled-speedup $(SMOKE_COMPILED_SPEEDUP)
 
 # The CI perf-crossover invocation: run the shard-count sweep, write

@@ -32,6 +32,10 @@
 //!                     allowed fractional regression of the `@compiled`
 //!                     rows (default 0.35 — the fused kernels share the
 //!                     pool's threading variance)
+//!   --smoke-serving-tolerance
+//!                     allowed fractional regression of the `@serving`
+//!                     rows (default 0.35 — the multi-tenant burst adds
+//!                     session-scheduler threading on top of the pool's)
 //!   --smoke-compiled-speedup
 //!                     required within-run ops/s speedup of the
 //!                     `@compiled` rows over their interpreted `@shards`
@@ -69,6 +73,7 @@ fn main() {
     let mut smoke_planner_tolerance = 0.35f64;
     let mut smoke_streamed_tolerance = 0.35f64;
     let mut smoke_compiled_tolerance = 0.35f64;
+    let mut smoke_serving_tolerance = 0.35f64;
     let mut smoke_compiled_speedup = 1.5f64;
     let mut smoke_seed = 42u64;
     let mut crossover_json: Option<String> = None;
@@ -152,6 +157,16 @@ fn main() {
                 }
                 smoke_compiled_tolerance = parsed;
             }
+            "--smoke-serving-tolerance" => {
+                i += 1;
+                let parsed: f64 =
+                    value_of(&args, i, "--smoke-serving-tolerance").parse().unwrap_or(f64::NAN);
+                if !parsed.is_finite() || !(0.0..1.0).contains(&parsed) {
+                    eprintln!("--smoke-serving-tolerance needs a fraction in [0, 1), e.g. 0.35");
+                    std::process::exit(2);
+                }
+                smoke_serving_tolerance = parsed;
+            }
             "--smoke-compiled-speedup" => {
                 i += 1;
                 let parsed: f64 =
@@ -198,7 +213,8 @@ fn main() {
                     "       cheetah-experiments --smoke-json PATH [--smoke-baseline PATH] \
                      [--smoke-tolerance FRAC] [--smoke-planner-tolerance FRAC] \
                      [--smoke-streamed-tolerance FRAC] [--smoke-compiled-tolerance FRAC] \
-                     [--smoke-compiled-speedup FACTOR] [--smoke-seed N]"
+                     [--smoke-serving-tolerance FRAC] [--smoke-compiled-speedup FACTOR] \
+                     [--smoke-seed N]"
                 );
                 println!(
                     "       cheetah-experiments --crossover-json PATH \
@@ -223,6 +239,7 @@ fn main() {
             smoke_planner_tolerance,
             smoke_streamed_tolerance,
             smoke_compiled_tolerance,
+            smoke_serving_tolerance,
             smoke_compiled_speedup,
             smoke_seed,
         );
@@ -280,6 +297,7 @@ fn run_smoke_mode(
     planner_tolerance: f64,
     streamed_tolerance: f64,
     compiled_tolerance: f64,
+    serving_tolerance: f64,
     compiled_speedup: f64,
     seed: u64,
 ) {
@@ -323,16 +341,18 @@ fn run_smoke_mode(
         planner_tolerance,
         streamed_tolerance,
         compiled_tolerance,
+        serving_tolerance,
     );
     if violations.is_empty() {
         eprintln!(
             "perf smoke OK: {} families within {:.0}% of {baseline_path} ({:.0}% for @planned, \
-             {:.0}% for @streamed, {:.0}% for @compiled)",
+             {:.0}% for @streamed, {:.0}% for @compiled, {:.0}% for @serving)",
             report.families.len(),
             tolerance * 100.0,
             planner_tolerance * 100.0,
             streamed_tolerance * 100.0,
-            compiled_tolerance * 100.0
+            compiled_tolerance * 100.0,
+            serving_tolerance * 100.0
         );
     } else {
         eprintln!("perf smoke FAILED vs {baseline_path}:");

@@ -3,11 +3,13 @@
 //! The raw-speed question the smoke pass cannot answer: *at how many
 //! shards does parallel execution beat running the query unsharded?*
 //! This sweep runs three representative families over a shard-count
-//! axis (default 1, 2, 4, 8) on the persistent worker pool, with
-//! routing keys, sharder fitting, and the shard split itself hoisted
-//! out of the timed region (the resident-data stance: in deployment
-//! every worker holds its slice from ingest on, so the shuffle is not
-//! query latency), and reports two numbers per family:
+//! axis (default 1, 2, 4, 8) on the persistent worker pool — requests
+//! pushed through the `Session` front door, pinned to the interpreted
+//! barrier path at each swept shard count, with the session's layout
+//! cache playing the resident-data role (a warm-up request routes each
+//! layout outside the timed region: in deployment every worker holds
+//! its slice from ingest on, so the shuffle is not query latency) —
+//! and reports two numbers per family:
 //!
 //! * **crossover shard count** — the smallest swept shard count whose
 //!   *modelled* completion ([`ExecBreakdown::completion_seconds`], the
@@ -30,12 +32,9 @@
 //! [`CrossoverReport::to_json`] writes.
 
 use crate::smoke::SMOKE_SHARDS;
-use cheetah_core::ShardPartitioner;
-use cheetah_db::{
-    fixed_sharder, route_range, routing_keys, Cluster, DbQuery, PlanDecision, ShardSpec, Table,
-};
+use cheetah_db::{Cluster, DbQuery, ExecBackend, ExecPath, Table};
 use cheetah_net::ExecBreakdown;
-use cheetah_runtime::PooledExecution;
+use cheetah_serve::{QueryRequest, Session, SessionConfig};
 use cheetah_workloads::SkewedTableConfig;
 use std::sync::Arc;
 use std::time::Instant;
@@ -112,55 +111,46 @@ fn sweep_tables(seed: u64, rows: usize) -> (Table, Table) {
     (left, right)
 }
 
-/// Run the sweep: for each family, each shard count best-of-`reps` on
-/// the pooled resident-data path — keys, sharders, and the shard split
-/// are all prepared once outside the timed region, matching the smoke
-/// pass's `@shards` rows.
+/// Run the sweep: for each family, each shard count best-of-`reps`
+/// through the `Session` front door, pinned to the interpreted barrier
+/// pool at the swept shard count — pinned requests bypass the plan cache
+/// and the bandit, so the counters stay deterministic, and a warm-up
+/// request per point makes the routed layout resident before the first
+/// timed rep, matching the smoke pass's `@shards` rows.
 pub fn run_crossover(seed: u64, rows: usize, reps: usize, shard_axis: &[usize]) -> CrossoverReport {
     let (left, right) = sweep_tables(seed, rows);
-    let cluster = Cluster::default();
+    let (left, right) = (Arc::new(left), Arc::new(right));
+    let session = Session::new(Cluster::default(), SessionConfig::default());
     let mut families = Vec::new();
     for (name, q) in crossover_queries() {
-        let right_of = q.is_binary().then_some(&right);
-        let input_rows = left.rows() + right_of.map_or(0, |r| r.rows());
-        let left_keys = routing_keys(&q, 0, &left, seed);
-        let right_keys = right_of.map(|r| routing_keys(&q, 1, r, seed));
-        let key_slices: Vec<&[u64]> =
-            std::iter::once(left_keys.as_slice()).chain(right_keys.as_deref()).collect();
+        let input_rows = left.rows() + if q.is_binary() { right.rows() } else { 0 };
 
         let mut points = Vec::with_capacity(shard_axis.len());
         for &shards in shard_axis {
-            let spec = ShardSpec::new(shards, ShardPartitioner::Hash);
-            let sharder = fixed_sharder(&spec, seed, &key_slices);
-            let left_shards: Vec<Arc<Table>> =
-                route_range(&left, &left_keys, &sharder, 0, left.rows())
-                    .into_iter()
-                    .map(Arc::new)
-                    .collect();
-            let right_shards: Option<Vec<Arc<Table>>> = right_of.map(|r| {
-                route_range(r, right_keys.as_deref().expect("binary query"), &sharder, 0, r.rows())
-                    .into_iter()
-                    .map(Arc::new)
-                    .collect()
-            });
+            let pinned = || {
+                let req = QueryRequest::new(q.clone(), Arc::clone(&left))
+                    .tenant("crossover")
+                    .path(ExecPath::BarrierPooled)
+                    .backend(ExecBackend::Interpreted)
+                    .shards(shards);
+                if q.is_binary() {
+                    req.with_right(Arc::clone(&right))
+                } else {
+                    req
+                }
+            };
+            // Warm-up: routes and caches this (family, shard count)
+            // layout so the timed reps pay execution only.
+            session.run_blocking(pinned()).expect("plan fits");
             let mut best_wall = f64::INFINITY;
             let mut best_breakdown: Option<ExecBreakdown> = None;
             for _ in 0..reps.max(1) {
                 let t0 = Instant::now();
-                let run = cluster
-                    .run_cheetah_presplit(
-                        &q,
-                        &left_shards,
-                        right_shards.as_deref(),
-                        &spec.ingest,
-                        PlanDecision::Fixed(spec.partitioner),
-                        None,
-                    )
-                    .expect("plan fits");
+                let resp = session.run_blocking(pinned()).expect("plan fits");
                 let wall = t0.elapsed().as_secs_f64();
                 if wall < best_wall {
                     best_wall = wall;
-                    best_breakdown = Some(run.breakdown);
+                    best_breakdown = Some(resp.breakdown);
                 }
             }
             let breakdown = best_breakdown.expect("at least one rep");

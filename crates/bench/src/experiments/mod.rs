@@ -14,6 +14,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod planner;
 pub mod runtime;
+pub mod serving;
 pub mod shards;
 pub mod table2;
 pub mod table3;
@@ -42,6 +43,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("runtime", runtime::run),
         ("crossover", crossover::run),
         ("chooser", chooser::run),
+        ("serving", serving::run),
     ]
 }
 
@@ -68,6 +70,7 @@ mod tests {
             "runtime",
             "crossover",
             "chooser",
+            "serving",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

@@ -29,10 +29,12 @@ pub mod crossover;
 pub mod experiments;
 pub mod report;
 pub mod smoke;
+pub mod workload;
 
 pub use crossover::{run_crossover, run_crossover_default, CrossoverFamily, CrossoverReport};
 pub use report::Report;
 pub use smoke::{run_smoke, SmokeFamily, SmokeReport};
+pub use workload::{ArrivalMode, ServingWorkload, TenantSpec};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

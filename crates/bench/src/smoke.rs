@@ -22,11 +22,12 @@
 
 use cheetah_core::ShardPartitioner;
 use cheetah_db::{
-    fixed_sharder, route_range, routing_keys, Cluster, DbPredicate, DbQuery, ExecBackend, IntCmp,
-    PlanDecision, ShardPlanner, ShardSpec, Table,
+    fixed_sharder, route_range, routing_keys, Cluster, DbPredicate, DbQuery, ExecBackend, ExecPath,
+    IntCmp, PlanDecision, ShardPlanner, ShardSpec, Table,
 };
 use cheetah_net::ENTRY_WIRE_BYTES;
 use cheetah_runtime::{PooledExecution, StreamSpec, StreamedExecution};
+use cheetah_serve::{QueryRequest, Session, SessionConfig};
 use cheetah_workloads::SkewedTableConfig;
 use std::sync::Arc;
 use std::time::Instant;
@@ -176,7 +177,10 @@ const PAIR_REPS: usize = 21;
 /// Run the smoke pass: every family unsharded, plus — for three
 /// representative families — a fixed [`SMOKE_SHARDS`]-shard run, a
 /// planner-chosen run, *and* a streamed-runtime run; the `@planned` and
-/// `@streamed` rows each gate with their own tolerance.
+/// `@streamed` rows each gate with their own tolerance. A final
+/// `burst@serving` row pushes a four-tenant closed-loop burst through the
+/// `Session` front door (own tolerance again — it carries scheduler
+/// threading variance on top of the pool's).
 pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
     let (left, right) = smoke_tables(seed, rows);
     let cluster = Cluster::default();
@@ -284,6 +288,51 @@ pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
         }));
     }
 
+    // The serving-plane row: a four-tenant closed-loop burst pushed
+    // through the `Session` front door. Every request is pinned to the
+    // interpreted barrier pool at [`SMOKE_SHARDS`] — pinned requests skip
+    // the plan cache and the bandit, so this row's counters stay
+    // deterministic and its wall clock measures the *plane* (admission,
+    // DRR scheduling, driver dispatch), not a path choice. The session is
+    // resident like every layout above, and a warm-up request routes the
+    // pinned shard layout before the first timed rep.
+    {
+        let q = DbQuery::Distinct { col: 0 };
+        let serving_left = Arc::new(left.clone());
+        let session = Session::new(cluster.clone(), SessionConfig::default());
+        let tenants = ["alpha", "beta", "gamma", "delta"];
+        const BURST_PER_TENANT: usize = 8;
+        let pinned = |tenant: &str| {
+            QueryRequest::new(q.clone(), Arc::clone(&serving_left))
+                .tenant(tenant)
+                .path(ExecPath::BarrierPooled)
+                .backend(ExecBackend::Interpreted)
+                .shards(SMOKE_SHARDS)
+        };
+        let warm = session.run_blocking(pinned("alpha")).expect("plan fits");
+        let counters =
+            (warm.switch_stats.pruned, warm.breakdown.entries_to_master, warm.breakdown.backend);
+        let input_rows = left.rows() * tenants.len() * BURST_PER_TENANT;
+        let session_ref = &session;
+        let pinned_ref = &pinned;
+        families.push(measure_family("burst@serving".to_string(), input_rows, reps, || {
+            std::thread::scope(|s| {
+                for tenant in tenants {
+                    s.spawn(move || {
+                        for _ in 0..BURST_PER_TENANT {
+                            session_ref
+                                .submit(pinned_ref(tenant))
+                                .expect("burst stays under capacity")
+                                .wait()
+                                .expect("admitted requests complete");
+                        }
+                    });
+                }
+            });
+            counters
+        }));
+    }
+
     SmokeReport { seed, rows, families }
 }
 
@@ -367,22 +416,26 @@ impl SmokeReport {
     /// its ops/sec must not have dropped by more than `tolerance`
     /// (fraction, e.g. `0.2`), and its bytes-pruned must not have shrunk
     /// by more than `tolerance` (less pruning = quality regression).
-    /// `@planned`, `@streamed`, and `@compiled` families are gated with
-    /// `tolerance` too; use [`SmokeReport::regressions_against_with`] to
-    /// give them their own. Returns the violations, empty when the gate
-    /// passes.
+    /// `@planned`, `@streamed`, `@compiled`, and `@serving` families are
+    /// gated with `tolerance` too; use
+    /// [`SmokeReport::regressions_against_with`] to give them their own.
+    /// Returns the violations, empty when the gate passes.
     pub fn regressions_against(&self, baseline: &SmokeReport, tolerance: f64) -> Vec<String> {
-        self.regressions_against_with(baseline, tolerance, tolerance, tolerance, tolerance)
+        self.regressions_against_with(
+            baseline, tolerance, tolerance, tolerance, tolerance, tolerance,
+        )
     }
 
     /// [`SmokeReport::regressions_against`] with separate *ops/sec*
     /// tolerances for the planner's `@planned` rows (a sampling pass and
     /// a data-dependent shard count), the runtime's `@streamed` rows
-    /// (router/worker/merge threading and per-batch framing), and the
-    /// fused kernels' `@compiled` rows — all of which carry more
-    /// wall-clock variance than a pinned interpreted barrier spec. The
-    /// deterministic bytes-pruned quality gate stays at the base
-    /// `tolerance` for every family, suffixed rows included.
+    /// (router/worker/merge threading and per-batch framing), the
+    /// fused kernels' `@compiled` rows, and the serving plane's
+    /// `@serving` rows (a multi-threaded closed-loop burst through the
+    /// `Session` scheduler) — all of which carry more wall-clock variance
+    /// than a pinned interpreted barrier spec. The deterministic
+    /// bytes-pruned quality gate stays at the base `tolerance` for every
+    /// family, suffixed rows included.
     pub fn regressions_against_with(
         &self,
         baseline: &SmokeReport,
@@ -390,6 +443,7 @@ impl SmokeReport {
         planner_tolerance: f64,
         streamed_tolerance: f64,
         compiled_tolerance: f64,
+        serving_tolerance: f64,
     ) -> Vec<String> {
         let mut violations = Vec::new();
         // The deterministic metrics only mean anything on the same
@@ -424,6 +478,8 @@ impl SmokeReport {
                 streamed_tolerance
             } else if base.name.ends_with("@compiled") {
                 compiled_tolerance
+            } else if base.name.ends_with("@serving") {
+                serving_tolerance
             } else {
                 tolerance
             };
@@ -583,6 +639,9 @@ mod tests {
         assert!(names.iter().filter(|n| n.ends_with("@planned")).count() == 3);
         assert!(names.iter().filter(|n| n.ends_with("@streamed")).count() == 3);
         assert!(names.iter().filter(|n| n.ends_with("@compiled")).count() == 3);
+        // The serving plane contributes its burst row, served by the
+        // interpreted barrier pool it pins.
+        assert!(names.contains(&"burst@serving"), "missing burst@serving");
         for f in &r.families {
             assert!(f.ops_per_sec > 0.0, "{}: zero throughput", f.name);
             // Honest attribution: only @compiled rows report the fused
@@ -731,13 +790,13 @@ mod tests {
         let mut slow = base.clone();
         slow.families[planned_idx].ops_per_sec = base.families[planned_idx].ops_per_sec * 0.7;
         assert!(!slow.regressions_against(&base, 0.2).is_empty());
-        assert!(slow.regressions_against_with(&base, 0.2, 0.4, 0.2, 0.2).is_empty());
+        assert!(slow.regressions_against_with(&base, 0.2, 0.4, 0.2, 0.2, 0.2).is_empty());
         // …the streamed knob excuses only @streamed rows…
         let mut slow_streamed = base.clone();
         slow_streamed.families[streamed_idx].ops_per_sec =
             base.families[streamed_idx].ops_per_sec * 0.7;
-        assert!(!slow_streamed.regressions_against_with(&base, 0.2, 0.9, 0.2, 0.9).is_empty());
-        assert!(slow_streamed.regressions_against_with(&base, 0.2, 0.2, 0.4, 0.2).is_empty());
+        assert!(!slow_streamed.regressions_against_with(&base, 0.2, 0.9, 0.2, 0.9, 0.9).is_empty());
+        assert!(slow_streamed.regressions_against_with(&base, 0.2, 0.2, 0.4, 0.2, 0.2).is_empty());
         // …the compiled knob excuses only @compiled rows…
         let compiled_idx = base
             .families
@@ -747,20 +806,31 @@ mod tests {
         let mut slow_compiled = base.clone();
         slow_compiled.families[compiled_idx].ops_per_sec =
             base.families[compiled_idx].ops_per_sec * 0.7;
-        assert!(!slow_compiled.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.2).is_empty());
-        assert!(slow_compiled.regressions_against_with(&base, 0.2, 0.2, 0.2, 0.4).is_empty());
+        assert!(!slow_compiled.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.2, 0.9).is_empty());
+        assert!(slow_compiled.regressions_against_with(&base, 0.2, 0.2, 0.2, 0.4, 0.2).is_empty());
+        // …the serving knob excuses only @serving rows…
+        let serving_idx = base
+            .families
+            .iter()
+            .position(|f| f.name.ends_with("@serving"))
+            .expect("serving family present");
+        let mut slow_serving = base.clone();
+        slow_serving.families[serving_idx].ops_per_sec =
+            base.families[serving_idx].ops_per_sec * 0.7;
+        assert!(!slow_serving.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.9, 0.2).is_empty());
+        assert!(slow_serving.regressions_against_with(&base, 0.2, 0.2, 0.2, 0.2, 0.4).is_empty());
         // …while a fixed-spec row is never excused by any knob.
         let fixed_idx =
             base.families.iter().position(|f| f.name.contains("@shards")).expect("fixed family");
         let mut slow_fixed = base.clone();
         slow_fixed.families[fixed_idx].ops_per_sec = base.families[fixed_idx].ops_per_sec * 0.7;
-        assert!(!slow_fixed.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.9).is_empty());
+        assert!(!slow_fixed.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.9, 0.9).is_empty());
         // The deterministic quality gate binds every suffixed row at the
         // *base* tolerance — wide knobs never excuse lost pruning.
         for idx in [planned_idx, streamed_idx, compiled_idx] {
             let mut weak = base.clone();
             weak.families[idx].bytes_pruned = (base.families[idx].bytes_pruned as f64 * 0.7) as u64;
-            let v = weak.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.9);
+            let v = weak.regressions_against_with(&base, 0.2, 0.9, 0.9, 0.9, 0.9);
             assert!(v.iter().any(|m| m.contains("bytes-pruned regressed")), "{v:?}");
         }
     }

@@ -174,6 +174,7 @@ impl Cluster {
                 // The baseline never touches the switch; the field only
                 // distinguishes Cheetah-path engines.
                 backend: cheetah_net::ExecBackend::Interpreted,
+                ..ExecBreakdown::default()
             },
         }
     }

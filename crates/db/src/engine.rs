@@ -201,6 +201,12 @@ impl Cluster {
     /// Every query shape goes through the same generic executor
     /// ([`Cluster::execute`]); each arm below only picks the
     /// [`PruningOperator`](cheetah_core::PruningOperator) impl.
+    ///
+    /// **Deprecated**: prefer the serving plane's front door — build a
+    /// `cheetah_serve::QueryRequest` and call `Session::run_blocking` /
+    /// `Session::submit`. This entry point stays as the shim the
+    /// serving contract gates verify bit-identity against.
+    #[doc(hidden)]
     pub fn run_cheetah(
         &self,
         q: &DbQuery,

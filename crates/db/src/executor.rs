@@ -280,6 +280,7 @@ impl Cluster {
                 overlap_seconds: 0.0,
                 replans: 0,
                 backend,
+                ..ExecBreakdown::default()
             },
             switch_stats: stats,
             rules: usage.rules,

@@ -700,6 +700,13 @@ impl Cluster {
     /// Output equals the baseline's and the unsharded run's for every
     /// query shape — the planner changes *where* rows go, never *what*
     /// the query answers.
+    ///
+    /// **Deprecated**: prefer the serving plane's front door — an
+    /// un-pinned `cheetah_serve::QueryRequest` runs planner-chosen
+    /// layouts through the session's plan cache, so repeat shapes skip
+    /// the sampling pass entirely. This entry point stays as the shim
+    /// the serving contract gates verify bit-identity against.
+    #[doc(hidden)]
     pub fn run_cheetah_planned(
         &self,
         q: &DbQuery,

@@ -191,6 +191,13 @@ impl Cluster {
     ///
     /// Output equals [`run_cheetah`](Cluster::run_cheetah)'s for every
     /// query shape — the `Q(merge(shards(D))) = Q(D)` contract.
+    ///
+    /// **Deprecated**: prefer the serving plane's front door — build a
+    /// `cheetah_serve::QueryRequest` (pin a shard count with
+    /// `.shards(n)`) and call `Session::run_blocking` /
+    /// `Session::submit`. This entry point stays as the shim the
+    /// serving contract gates verify bit-identity against.
+    #[doc(hidden)]
     pub fn run_cheetah_sharded(
         &self,
         q: &DbQuery,
@@ -225,6 +232,14 @@ impl Cluster {
     /// sharder (the perf-smoke harness, the runtime's pooled barrier
     /// path) can time *execution* without re-paying key derivation and
     /// sharder fitting per run.
+    ///
+    /// **Deprecated**: prefer the serving plane's front door — the
+    /// `Session` keeps routed layouts resident in its layout cache, so
+    /// a `cheetah_serve::QueryRequest` gets the same
+    /// pay-execution-only behaviour without hand-threading keys and
+    /// sharders. This entry point stays as the shim the serving
+    /// contract gates verify bit-identity against.
+    #[doc(hidden)]
     #[allow(clippy::too_many_arguments)]
     pub fn run_cheetah_routed(
         &self,
@@ -335,6 +350,7 @@ pub fn finish_sharded(
         overlap_seconds: 0.0,
         replans: 0,
         backend,
+        ..ExecBreakdown::default()
     };
     ShardedRun { output, breakdown, switch_stats, per_shard, merge_seconds, rules, plan }
 }

@@ -97,7 +97,7 @@ impl ExecBackend {
 }
 
 /// Phase timings and transfer volumes of one execution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecBreakdown {
     /// Slowest worker's compute/serialize time (workers run in parallel).
     pub worker_seconds: f64,
@@ -137,6 +137,15 @@ pub struct ExecBreakdown {
     /// falls back to the interpreter (unsupported family), the value here
     /// is what *actually* executed, not what was requested.
     pub backend: ExecBackend,
+    /// Wall time the request waited in a serving session's admission
+    /// queue before a driver started executing it. Zero for direct
+    /// (non-session) runs, so serving latency decomposes as
+    /// queue → worker → network → master.
+    pub queue_seconds: f64,
+    /// Tenant id of the serving-session request that produced this run.
+    /// Empty for direct runs (and for JSON baselines recorded before the
+    /// serving plane existed).
+    pub tenant: String,
 }
 
 impl Default for ExecBreakdown {
@@ -154,6 +163,8 @@ impl Default for ExecBreakdown {
             overlap_seconds: 0.0,
             replans: 0,
             backend: ExecBackend::default(),
+            queue_seconds: 0.0,
+            tenant: String::new(),
         }
     }
 }

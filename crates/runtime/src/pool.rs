@@ -137,6 +137,13 @@ pub trait PooledExecution {
     /// spec's partitioner, run each shard's slice as a pool job, join,
     /// merge at the master. Output is bit-identical to
     /// `run_cheetah_sharded` with the same spec.
+    ///
+    /// **Deprecated**: prefer the serving plane's front door — build a
+    /// `cheetah_serve::QueryRequest` (pin `.path(BarrierPooled)` and a
+    /// shard count) and call `Session::run_blocking` /
+    /// `Session::submit`. This entry point stays as the shim the
+    /// serving contract gates verify bit-identity against.
+    #[doc(hidden)]
     fn run_cheetah_pooled(
         &self,
         q: &DbQuery,
@@ -149,6 +156,14 @@ pub trait PooledExecution {
     /// keys and fitted a sharder (e.g. once, outside a timed region),
     /// so this call pays only routing + execution + merge. The pooled
     /// sibling of `Cluster::run_cheetah_routed`.
+    ///
+    /// **Deprecated**: prefer the serving plane's front door — the
+    /// `Session` layout cache keeps fitted sharders and routed slices
+    /// resident per (shape, table, shard count), so a
+    /// `cheetah_serve::QueryRequest` pays execution only on repeats
+    /// without hand-threading keys. This entry point stays as the shim
+    /// the serving contract gates verify bit-identity against.
+    #[doc(hidden)]
     #[allow(clippy::too_many_arguments)]
     fn run_cheetah_pooled_routed(
         &self,
@@ -169,6 +184,13 @@ pub trait PooledExecution {
     /// latency). Pays only per-shard execution + master merge; handing
     /// workers `Arc` clones keeps repeat queries over the same layout
     /// allocation-free on the input side.
+    ///
+    /// **Deprecated**: prefer the serving plane's front door — the
+    /// `Session` routes once, caches the `Arc` slices, and dispatches
+    /// repeat `cheetah_serve::QueryRequest`s against the resident
+    /// layout. This entry point stays as the shim the serving plane
+    /// itself executes through and the contract gates verify against.
+    #[doc(hidden)]
     fn run_cheetah_presplit(
         &self,
         q: &DbQuery,

@@ -90,6 +90,13 @@ pub trait StreamedExecution {
     /// Output equals `run_baseline`'s for every query shape — streaming
     /// changes *when* survivors reach the master, never *what* the query
     /// answers.
+    ///
+    /// **Deprecated**: prefer the serving plane's front door — build a
+    /// `cheetah_serve::QueryRequest` (pin `.path(StreamedResident)` or
+    /// let the bandit choose) and call `Session::run_blocking` /
+    /// `Session::submit`. This entry point stays as the shim the
+    /// serving contract gates verify bit-identity against.
+    #[doc(hidden)]
     fn run_cheetah_streamed(
         &self,
         q: &DbQuery,
@@ -122,7 +129,15 @@ pub trait StreamedExecution {
     /// so there is nothing to re-fit mid-run. Output is identical to the
     /// routing twin's when no mid-run re-plan fired there.
     ///
+    /// **Deprecated**: prefer the serving plane's front door — the
+    /// `Session` assembles and caches `StreamLayout`s per (shape,
+    /// table, shard count) and dispatches streamed
+    /// `cheetah_serve::QueryRequest`s against them. This entry point
+    /// stays as the shim the serving plane itself executes through and
+    /// the contract gates verify against.
+    ///
     /// [`run_cheetah_streamed`]: StreamedExecution::run_cheetah_streamed
+    #[doc(hidden)]
     fn run_cheetah_streamed_resident(
         &self,
         q: &DbQuery,
@@ -169,6 +184,62 @@ impl StreamLayout {
     /// Rows routed to each shard.
     pub fn dispatched(&self) -> &[u64] {
         &self.dispatched
+    }
+
+    /// Assemble a resident layout from already-routed slices, skipping
+    /// key derivation and sharder fitting entirely. This is the serving
+    /// plane's entry point: a session that has presplit a table once
+    /// (and cached the `Arc` slices) can wrap the same slices as a
+    /// one-round-per-`units`-entry streamed layout and run
+    /// [`run_cheetah_streamed_resident`] against it — the pooled path
+    /// and the streamed path then share one routing pass.
+    ///
+    /// `units[round][shard]` must be rectangular and non-empty: every
+    /// round slices the input across the same shard set. `batch` of
+    /// `None` asks the ingest model for its suggested batch size, as
+    /// [`plan_stream`] does.
+    ///
+    /// [`run_cheetah_streamed_resident`]: StreamedExecution::run_cheetah_streamed_resident
+    /// [`plan_stream`]: StreamedExecution::plan_stream
+    pub fn from_units(
+        units: Vec<Vec<Arc<Table>>>,
+        right_units: Option<Vec<Arc<Table>>>,
+        ingest: MasterIngestModel,
+        decision: PlanDecision,
+        plan: Option<ShardPlan>,
+        batch: Option<usize>,
+        channel_depth: usize,
+    ) -> StreamLayout {
+        assert!(
+            !units.is_empty() && !units[0].is_empty(),
+            "a resident layout needs at least one round over at least one shard"
+        );
+        let shards = units[0].len();
+        assert!(
+            units.iter().all(|round| round.len() == shards),
+            "every round must slice the input across the same shard set"
+        );
+        let rounds = units.len();
+        let mut dispatched = vec![0u64; shards];
+        for round in &units {
+            for (shard, t) in round.iter().enumerate() {
+                dispatched[shard] += t.rows() as u64;
+            }
+        }
+        let batch_size =
+            batch.unwrap_or_else(|| ingest.suggested_batch(shards)).clamp(1, MAX_BATCH_ITEMS);
+        StreamLayout {
+            units,
+            right_units,
+            dispatched,
+            shards,
+            rounds,
+            batch_size,
+            channel_depth: channel_depth.max(1),
+            ingest,
+            decision,
+            plan,
+        }
     }
 }
 
@@ -614,6 +685,7 @@ fn assemble(fold: Fold, ctx: AssembleCtx) -> StreamedRun {
         replans,
         // All workers clone one cluster; any report speaks for the run.
         backend: reports.first().map(|r| r.backend).unwrap_or_default(),
+        ..ExecBreakdown::default()
     };
     let rules = reports.iter().map(|r| r.rules).max().unwrap_or(0);
     StreamedRun {
@@ -753,6 +825,47 @@ mod tests {
         assert_eq!(run.breakdown.shards as usize, plan.shards());
         assert!(run.breakdown.plan.expect("decision").is_planned());
         assert_eq!(run.output, cluster.run_baseline(&q, &t, None).output);
+    }
+
+    #[test]
+    fn from_units_rebuilds_a_layout_that_runs_identically() {
+        // The serving plane assembles layouts from cached presplit
+        // slices instead of re-deriving keys; a rebuilt layout must be
+        // indistinguishable from the planned one at run time.
+        let cluster = Cluster::default();
+        let t = table(1_800, 4);
+        let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+        let spec = StreamSpec::fixed(ShardSpec::new(4, ShardPartitioner::Hash));
+        let layout = cluster.plan_stream(&q, &t, None, &spec);
+        let rebuilt = StreamLayout::from_units(
+            layout.units.clone(),
+            layout.right_units.clone(),
+            layout.ingest,
+            layout.decision,
+            layout.plan.clone(),
+            Some(layout.batch_size),
+            layout.channel_depth,
+        );
+        assert_eq!(rebuilt.shards(), layout.shards());
+        assert_eq!(rebuilt.rounds(), layout.rounds());
+        assert_eq!(rebuilt.dispatched(), layout.dispatched());
+        let planned = cluster.run_cheetah_streamed_resident(&q, &layout).unwrap();
+        let assembled = cluster.run_cheetah_streamed_resident(&q, &rebuilt).unwrap();
+        assert_eq!(planned.output, assembled.output);
+        assert_eq!(planned.output, cluster.run_baseline(&q, &t, None).output);
+        assert_eq!(planned.breakdown.entries_to_master, assembled.breakdown.entries_to_master);
+        // Omitting the batch hint falls back to the ingest suggestion.
+        let suggested = StreamLayout::from_units(
+            layout.units.clone(),
+            None,
+            layout.ingest,
+            layout.decision,
+            None,
+            None,
+            0,
+        );
+        assert!(suggested.batch_size >= 1);
+        assert_eq!(suggested.channel_depth, 1, "channel depth is clamped to at least 1");
     }
 
     #[test]

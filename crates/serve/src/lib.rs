@@ -1,0 +1,43 @@
+//! # cheetah-serve — the multi-tenant serving plane
+//!
+//! Everything below this crate executes *one query at a time*: the db
+//! crate's barrier twins, the runtime's streamed twin, the compiled
+//! kernels. This crate is the front door the paper's deployment story
+//! implies — a switch-accelerated database serves *many tenants at
+//! once* — and it is the **one** public way in: callers build a
+//! [`QueryRequest`] and hand it to a [`Session`]; which twin runs, on
+//! which backend, over which shard layout, is the session's business.
+//!
+//! The pipeline behind [`Session::submit`]:
+//!
+//! 1. **Admission** — a bounded in-flight gate; past capacity the
+//!    request is refused *immediately* with [`Error::Overloaded`]
+//!    (shed load, don't buffer it into memory growth).
+//! 2. **Fair scheduling** — deficit round-robin over per-tenant
+//!    queues, costed in input rows, so a flooding tenant cannot starve
+//!    a light one.
+//! 3. **Plan cache** — repeat query shapes over stable table stats
+//!    skip the [`ShardPlanner`](cheetah_db::ShardPlanner) entirely
+//!    ([`PlanCache`]).
+//! 4. **Path choice** — a per-shape UCB1 bandit
+//!    ([`PathChooser`](cheetah_db::PathChooser)) routes the request to
+//!    {barrier-pooled, streamed-resident} × {interpreted, compiled},
+//!    unless the request pinned a choice.
+//!
+//! Every path produces bit-identical output — the serving plane
+//! inherits the repo-wide invariant `Q(A_Q(D)) = Q(D)` — so admission
+//! order, tenancy, and path choice affect *when* an answer arrives,
+//! never *what* it says.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod plan_cache;
+pub mod request;
+pub mod session;
+
+pub use error::{Error, Result};
+pub use plan_cache::{CachedPlan, PlanCache, StatsFingerprint};
+pub use request::QueryRequest;
+pub use session::{QueryResponse, Session, SessionConfig, SessionStats, Ticket};

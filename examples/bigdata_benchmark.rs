@@ -1,8 +1,10 @@
 //! The Big Data benchmark at configurable scale: Spark vs Cheetah.
 //!
-//! Generates Rankings and UserVisits, runs the seven benchmark queries on
-//! both execution paths, verifies output equality, and prints a Figure-5
-//! style table with completion times at a 10G link.
+//! Generates Rankings and UserVisits, runs the seven benchmark queries
+//! through the Spark-like baseline and through the switch-pruned serving
+//! plane (the `QueryRequest`/`Session` front door), verifies output
+//! equality, and prints a Figure-5 style table with completion times at
+//! a 10G link.
 //!
 //! ```sh
 //! cargo run --release --example bigdata_benchmark            # default scale
@@ -10,7 +12,9 @@
 //! ```
 
 use cheetah::db::{Cluster, DbPredicate, DbQuery, IntCmp};
+use cheetah::serve::{QueryRequest, Session, SessionConfig};
 use cheetah::workloads::bigdata::BigDataConfig;
+use std::sync::Arc;
 
 const LINK_GBPS: f64 = 10.0;
 
@@ -29,11 +33,12 @@ fn main() {
         "generating rankings ({} rows) and uservisits ({} rows)...",
         bd.rankings_rows, bd.uservisits_rows
     );
-    let rankings = bd.rankings();
-    let uservisits = bd.uservisits();
+    let rankings = Arc::new(bd.rankings());
+    let uservisits = Arc::new(bd.uservisits());
     let cluster = Cluster::default();
+    let session = Session::new(cluster.clone(), SessionConfig::default());
 
-    let queries: Vec<(&str, DbQuery, &cheetah::db::Table, Option<&cheetah::db::Table>)> = vec![
+    let queries = vec![
         (
             "1: filter count (avgDuration < 10)",
             DbQuery::FilterCount {
@@ -102,8 +107,12 @@ fn main() {
     );
     println!("{}", "-".repeat(96));
     for (name, q, left, right) in queries {
-        let base = cluster.run_baseline(&q, left, right);
-        let chee = cluster.run_cheetah(&q, left, right).expect("plan fits");
+        let base = cluster.run_baseline(&q, left, right.map(|r| &**r));
+        let mut req = QueryRequest::new(q, Arc::clone(left)).tenant("bigdata");
+        if let Some(r) = right {
+            req = req.with_right(Arc::clone(r));
+        }
+        let chee = session.run_blocking(req).expect("plan fits");
         assert_eq!(base.output, chee.output, "{name}: outputs diverged");
         let s = base.breakdown.completion_seconds(LINK_GBPS);
         let c = chee.breakdown.completion_seconds(LINK_GBPS);

@@ -1,8 +1,9 @@
 //! Quickstart: the paper's running example (Table 1) end to end.
 //!
 //! Builds the Products/Ratings tables from §4, runs each query shape both
-//! through the baseline engine and through the switch-pruned path, and
-//! shows that outputs match while the switch discards most of the stream.
+//! through the baseline engine and through the switch-pruned serving
+//! plane (the `QueryRequest`/`Session` front door), and shows that
+//! outputs match while the switch discards most of the stream.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -10,6 +11,8 @@
 
 use cheetah::db::{Cluster, DataType, DbQuery, QueryOutput, Table, TableBuilder, Value};
 use cheetah::db::{DbPredicate, IntCmp, LikePattern};
+use cheetah::serve::{QueryRequest, Session, SessionConfig};
+use std::sync::Arc;
 
 fn products() -> Table {
     let mut b = TableBuilder::new(
@@ -57,8 +60,13 @@ fn show(name: &str, out: &QueryOutput, pruned_pct: f64) {
 
 fn main() {
     let cluster = Cluster::default();
-    let products = products();
-    let ratings = ratings();
+    let products = Arc::new(products());
+    let ratings = Arc::new(ratings());
+    // The serving plane's front door: requests go through admission, the
+    // fair scheduler, and the plan cache; the baseline below stays on the
+    // engine directly — it is the ground truth the plane is checked
+    // against.
+    let session = Session::new(cluster.clone(), SessionConfig::default());
 
     println!("Cheetah quickstart — the paper's §4 examples\n");
 
@@ -90,7 +98,9 @@ fn main() {
         ("SELECT name FROM Ratings SKYLINE OF taste, texture", &skyline, &ratings),
     ] {
         let base = cluster.run_baseline(q, table, None);
-        let chee = cluster.run_cheetah(q, table, None).expect("plan fits the switch");
+        let chee = session
+            .run_blocking(QueryRequest::new(q.clone(), Arc::clone(table)).tenant("quickstart"))
+            .expect("plan fits the switch");
         assert_eq!(base.output, chee.output, "pruning must not change the output");
         show(name, &chee.output, chee.switch_stats.pruned_fraction() * 100.0);
     }
@@ -98,7 +108,13 @@ fn main() {
     // §4.3 Example #4: JOIN Products and Ratings ON name.
     let join = DbQuery::Join { left_key: 0, right_key: 0 };
     let base = cluster.run_baseline(&join, &products, Some(&ratings));
-    let chee = cluster.run_cheetah(&join, &products, Some(&ratings)).expect("plan");
+    let chee = session
+        .run_blocking(
+            QueryRequest::new(join, Arc::clone(&products))
+                .with_right(Arc::clone(&ratings))
+                .tenant("quickstart"),
+        )
+        .expect("plan fits the switch");
     assert_eq!(base.output, chee.output);
     show(
         "Products JOIN Ratings ON name",

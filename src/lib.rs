@@ -8,7 +8,7 @@
 //! query output — and the master completes the unchanged query on the
 //! survivors, so `Q(A_Q(D)) = Q(D)` by construction.
 //!
-//! This facade crate re-exports the six subsystems:
+//! This facade crate re-exports the seven subsystems:
 //!
 //! * [`switch`] — a PISA dataplane simulator that *enforces* the resource
 //!   constraints the paper designs around (stages, ALUs, SRAM, TCAM, PHV,
@@ -25,12 +25,18 @@
 //!   incremental master merge, cross-shard survivor batching, and
 //!   supervised mid-run re-planning;
 //! * [`workloads`] — seeded generators for the Big Data benchmark, a
-//!   TPC-H subset, and the pruning-rate simulation streams.
+//!   TPC-H subset, and the pruning-rate simulation streams;
+//! * [`serve`] — the multi-tenant serving plane: the
+//!   [`QueryRequest`](serve::QueryRequest)/[`Session`](serve::Session)
+//!   front door with admission control, per-tenant fair scheduling, a
+//!   plan cache, and bandit routing over the execution paths.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use cheetah::db::{Cluster, DbQuery, TableBuilder, Value, DataType};
+//! use cheetah::serve::{QueryRequest, Session, SessionConfig};
+//! use std::sync::Arc;
 //!
 //! // A tiny table of (seller, price) rows — the paper's running example.
 //! let mut b = TableBuilder::new(
@@ -41,14 +47,18 @@
 //! for (s, p) in [("McCheetah", 4), ("Papizza", 7), ("McCheetah", 2), ("JellyFish", 5)] {
 //!     b.push_row(vec![Value::Str(s.into()), Value::Int(p)]);
 //! }
-//! let table = b.build();
+//! let table = Arc::new(b.build());
 //!
-//! // SELECT DISTINCT seller — baseline vs switch-pruned.
+//! // SELECT DISTINCT seller — the Spark-like baseline vs the serving
+//! // plane's switch-pruned path (the session picks the execution twin).
 //! let cluster = Cluster::default();
 //! let q = DbQuery::Distinct { col: 0 };
 //! let spark = cluster.run_baseline(&q, &table, None);
-//! let cheetah = cluster.run_cheetah(&q, &table, None).unwrap();
-//! assert_eq!(spark.output, cheetah.output); // the pruning contract
+//! let session = Session::new(cluster, SessionConfig::default());
+//! let resp = session
+//!     .run_blocking(QueryRequest::new(q, table).tenant("quickstart"))
+//!     .unwrap();
+//! assert_eq!(spark.output, resp.output); // the pruning contract
 //! ```
 //!
 //! See `examples/` for runnable end-to-end scenarios and
@@ -74,3 +84,6 @@ pub use cheetah_runtime as runtime;
 
 /// Benchmark data generators (`cheetah-workloads`).
 pub use cheetah_workloads as workloads;
+
+/// The multi-tenant serving plane (`cheetah-serve`).
+pub use cheetah_serve as serve;
