@@ -29,7 +29,7 @@ CROSSOVER_BASELINE ?= ci/crossover_baseline.json
 # itself is gated exactly (it may only ever move down).
 CROSSOVER_TOLERANCE ?= 0.35
 
-.PHONY: build test lint docs bench-compile bench-smoke bench-crossover shard-gate planner-gate runtime-gate compiled-gate serving-gate
+.PHONY: build test lint docs bench-compile bench-smoke bench-crossover shard-gate planner-gate runtime-gate compiled-gate serving-gate fabric-gate
 
 build:
 	cargo build --release
@@ -78,6 +78,17 @@ compiled-gate:
 # never changes results.
 serving-gate:
 	cargo test -q -p cheetah-db --test serving_contract
+
+# The named CI gate: lossy-fabric contract — the bounded model checker
+# exhaustively replays every delivery schedule of 2 shards x 3 survivor
+# frames (one drop + one duplication budget, 10 380 schedules, bounded
+# at 20 000 and asserted un-truncated) into the merge plane for all
+# seven query variants, the simulated fabric answers exactly and
+# bit-identically per seed at 15% drop + 15% corruption, and the
+# streamed runtime survives the same profile with its go-back-N resends
+# reported in the breakdown.
+fabric-gate:
+	cargo test -q -p cheetah-db --test fabric_contract
 
 # The CI perf-smoke invocation, byte for byte: runs the fixed-seed smoke
 # pass, writes $(SMOKE_OUT), and fails on >$(SMOKE_TOLERANCE) regression

@@ -4,6 +4,7 @@
 pub mod ablations;
 pub mod chooser;
 pub mod crossover;
+pub mod fabric;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12_13;
@@ -44,6 +45,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("crossover", crossover::run),
         ("chooser", chooser::run),
         ("serving", serving::run),
+        ("fabric", fabric::run),
     ]
 }
 
@@ -71,6 +73,7 @@ mod tests {
             "crossover",
             "chooser",
             "serving",
+            "fabric",
         ] {
             assert!(ids.contains(&want), "missing experiment {want}");
         }

@@ -49,8 +49,8 @@ use crate::ops;
 use crate::query::{DbQuery, QueryOutput};
 use crate::value::Value;
 use bytes::{BufMut, Bytes, BytesMut};
-use cheetah_net::WireError;
-use std::collections::{BTreeMap, BTreeSet};
+use cheetah_net::{SurvivorBatch, WireError};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// Merge per-shard outputs of `q` into the global output, following the
 /// per-operator semantics above. Every element of `outputs` must be the
@@ -116,7 +116,7 @@ const ITEM_KEYED_STR: u8 = 7;
 
 impl MergeItem {
     /// Serialize into the opaque item payload of a
-    /// [`SurvivorBatch`](cheetah_net::SurvivorBatch) frame.
+    /// [`SurvivorBatch`] frame.
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(16);
         self.encode_into(&mut b);
@@ -304,6 +304,11 @@ const TOPN_SLACK: usize = 256;
 pub struct MergeState {
     acc: Acc,
     ingested: u64,
+    /// `(shard, seq)` frames already folded — the paper's master-side
+    /// dedup, lifted to the merge plane so retransmitted survivor batches
+    /// are idempotent.
+    seen: HashSet<(u32, u64)>,
+    duplicate_batches: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -329,7 +334,7 @@ impl MergeState {
             DbQuery::GroupByMax { .. } => Acc::GroupMax(BTreeMap::new()),
             DbQuery::HavingSum { .. } => Acc::Having(BTreeMap::new()),
         };
-        Self { acc, ingested: 0 }
+        Self { acc, ingested: 0, seen: HashSet::new(), duplicate_batches: 0 }
     }
 
     /// Fold one item. The item kind must match the query's (a mismatch is
@@ -375,7 +380,7 @@ impl MergeState {
     /// Fold a whole batch of *encoded* items, reading each straight out
     /// of a borrowed slice ([`MergeItem::decode_slice`]) — the zero-copy
     /// path the streamed runtime drives with the item windows of a
-    /// columnar [`SurvivorBatch`](cheetah_net::SurvivorBatch). Compacts
+    /// columnar [`SurvivorBatch`]. Compacts
     /// once at the end, like [`ingest_batch`](MergeState::ingest_batch);
     /// a malformed item is a typed [`WireError`], with the items before
     /// it already folded (the caller abandons the run, not the state).
@@ -388,6 +393,28 @@ impl MergeState {
         }
         self.compact();
         Ok(())
+    }
+
+    /// Fold one framed [`SurvivorBatch`] *idempotently*: a frame whose
+    /// `(shard, seq)` identity was already folded is counted and skipped,
+    /// so a lossy channel may deliver retransmitted or duplicated frames
+    /// in any order without perturbing the merge. Returns `Ok(true)` when
+    /// the batch was new (and folded), `Ok(false)` for a discarded
+    /// duplicate. This is the only ingest door the lossy runtime uses —
+    /// the dedup lives *in* the merge plane, not in each transport.
+    pub fn ingest_survivor_batch(&mut self, batch: &SurvivorBatch) -> Result<bool, WireError> {
+        if !self.seen.insert((batch.shard, batch.seq)) {
+            self.duplicate_batches += 1;
+            return Ok(false);
+        }
+        self.ingest_slices(batch.items())?;
+        Ok(true)
+    }
+
+    /// Retransmitted/duplicated frames discarded by
+    /// [`ingest_survivor_batch`](MergeState::ingest_survivor_batch).
+    pub fn duplicate_batches(&self) -> u64 {
+        self.duplicate_batches
     }
 
     /// Items folded so far.
@@ -663,6 +690,78 @@ mod tests {
     fn merge_state_rejects_cross_query_items() {
         let mut st = MergeState::new(&DbQuery::Distinct { col: 0 });
         st.ingest(MergeItem::Top(5));
+    }
+
+    // ------------------------------------------------------------------
+    // Frame-level idempotence: the merge plane's (shard, seq) dedup.
+    // ------------------------------------------------------------------
+
+    fn count_frame(shard: u32, seq: u64, counts: &[u64]) -> cheetah_net::SurvivorBatch {
+        let encoded: Vec<Bytes> = counts.iter().map(|&c| MergeItem::Count(c).encode()).collect();
+        cheetah_net::SurvivorBatch::parse(cheetah_net::emit_batch(shard, seq, encoded.iter()))
+            .expect("frame parses")
+    }
+
+    #[test]
+    fn retransmitted_batches_fold_exactly_once() {
+        let q = filter_q();
+        let mut st = MergeState::new(&q);
+        let b0 = count_frame(0, 0, &[3]);
+        let b1 = count_frame(0, 1, &[4]);
+        assert_eq!(st.ingest_survivor_batch(&b0), Ok(true));
+        assert_eq!(st.ingest_survivor_batch(&b1), Ok(true));
+        // A retransmit of either frame is discarded, not re-folded.
+        assert_eq!(st.ingest_survivor_batch(&b0), Ok(false));
+        assert_eq!(st.ingest_survivor_batch(&b1), Ok(false));
+        assert_eq!(st.ingest_survivor_batch(&b0), Ok(false));
+        assert_eq!(st.duplicate_batches(), 3);
+        assert_eq!(st.finish(), QueryOutput::Count(7));
+    }
+
+    #[test]
+    fn same_seq_on_different_shards_is_not_a_duplicate() {
+        let q = filter_q();
+        let mut st = MergeState::new(&q);
+        assert_eq!(st.ingest_survivor_batch(&count_frame(0, 0, &[1])), Ok(true));
+        assert_eq!(st.ingest_survivor_batch(&count_frame(1, 0, &[2])), Ok(true));
+        assert_eq!(st.ingest_survivor_batch(&count_frame(2, 0, &[4])), Ok(true));
+        assert_eq!(st.duplicate_batches(), 0);
+        assert_eq!(st.finish(), QueryOutput::Count(7));
+    }
+
+    #[test]
+    fn duplicated_and_reordered_frames_match_the_clean_fold() {
+        // TOP N is the family where double-folding would actually corrupt
+        // the answer if dedup failed (Count would just double).
+        let q = DbQuery::TopN { order_col: 0, n: 2 };
+        let frames: Vec<cheetah_net::SurvivorBatch> = [(0u32, vec![5i64, 9]), (1u32, vec![7, 1])]
+            .iter()
+            .flat_map(|(shard, vals)| {
+                vals.iter().enumerate().map(move |(seq, &v)| {
+                    let item = MergeItem::Top(v).encode();
+                    cheetah_net::SurvivorBatch::parse(cheetah_net::emit_batch(
+                        *shard,
+                        seq as u64,
+                        [item.as_ref()],
+                    ))
+                    .unwrap()
+                })
+            })
+            .collect();
+        let mut clean = MergeState::new(&q);
+        for f in &frames {
+            assert_eq!(clean.ingest_survivor_batch(f), Ok(true));
+        }
+        // Deliver reversed, with every frame duplicated twice.
+        let mut lossy = MergeState::new(&q);
+        for f in frames.iter().rev() {
+            lossy.ingest_survivor_batch(f).unwrap();
+            lossy.ingest_survivor_batch(f).unwrap();
+            lossy.ingest_survivor_batch(f).unwrap();
+        }
+        assert_eq!(lossy.duplicate_batches(), 2 * frames.len() as u64);
+        assert_eq!(lossy.ingested(), clean.ingested());
+        assert_eq!(lossy.finish(), clean.finish());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Link models with fault injection.
 //!
 //! Following the smoltcp examples' fault injector: a link can drop packets,
-//! corrupt one octet, and is shaped by a serialization rate. Everything is
-//! seeded, so lossy runs are exactly reproducible.
+//! corrupt one octet, duplicate a delivery, and jitter arrival times (the
+//! reordering source), and is shaped by a serialization rate. Everything
+//! is seeded, so lossy runs are exactly reproducible.
 
 use bytes::Bytes;
 use cheetah_switch::hash::mix64;
@@ -19,17 +20,26 @@ pub struct FaultProfile {
     /// Probability one octet of the packet is flipped (the checksum will
     /// catch it at the receiver, turning it into an effective drop).
     pub corrupt_prob: f64,
+    /// Probability a delivered packet arrives twice (NIC/switch
+    /// duplication; the receiver's sequence dedup absorbs it).
+    pub dup_prob: f64,
+    /// Uniform extra per-arrival delay in `[0, jitter_ns)`. Non-zero
+    /// jitter lets a later packet overtake an earlier one — the
+    /// reordering the switch's `Y > X+1` rule exists for.
+    pub jitter_ns: SimTime,
 }
 
 impl FaultProfile {
     /// No faults.
     pub fn lossless() -> Self {
-        Self { drop_prob: 0.0, corrupt_prob: 0.0 }
+        Self { drop_prob: 0.0, corrupt_prob: 0.0, dup_prob: 0.0, jitter_ns: 0 }
     }
 
-    /// The smoltcp examples' "good starting value": 15% drop, 15% corrupt.
+    /// The smoltcp examples' "good starting value" (15% drop, 15%
+    /// corrupt), plus mild duplication and enough jitter to reorder
+    /// back-to-back frames.
     pub fn harsh() -> Self {
-        Self { drop_prob: 0.15, corrupt_prob: 0.15 }
+        Self { drop_prob: 0.15, corrupt_prob: 0.15, dup_prob: 0.05, jitter_ns: 5_000 }
     }
 }
 
@@ -78,20 +88,17 @@ pub struct Link {
     pub dropped: u64,
     /// Packets corrupted by fault injection.
     pub corrupted: u64,
+    /// Packets duplicated by fault injection.
+    pub duplicated: u64,
 }
 
-/// The outcome of offering a packet to a link.
+/// One copy of a transmitted packet reaching the far end of a link.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum LinkOutcome {
-    /// Packet will arrive at `at` with the given bytes (possibly corrupted).
-    Deliver {
-        /// Arrival time.
-        at: SimTime,
-        /// The bytes that arrive.
-        bytes: Bytes,
-    },
-    /// Packet was dropped in flight.
-    Dropped,
+pub struct Arrival {
+    /// Arrival time.
+    pub at: SimTime,
+    /// The bytes that arrive (possibly corrupted).
+    pub bytes: Bytes,
 }
 
 impl Link {
@@ -105,6 +112,7 @@ impl Link {
             rng: SimRng::new(seed),
             dropped: 0,
             corrupted: 0,
+            duplicated: 0,
         }
     }
 
@@ -113,16 +121,18 @@ impl Link {
         Self::new(10e9, 1_000, FaultProfile::lossless(), seed)
     }
 
-    /// Offer a packet at `now`; the link serializes it (bytes padded with
-    /// frame overhead by the caller via `wire_bytes`), applies faults, and
-    /// reports the arrival.
-    pub fn offer(&mut self, now: SimTime, bytes: Bytes, wire_bytes: u64) -> LinkOutcome {
+    /// Transmit a packet at `now`: the link serializes it (bytes padded
+    /// with frame overhead by the caller via `wire_bytes`), applies
+    /// faults, and reports every copy that arrives — zero for a drop,
+    /// one normally, two under duplication. Jitter is drawn per arrival,
+    /// so arrivals on a jittered link may overtake each other.
+    pub fn transmit(&mut self, now: SimTime, bytes: Bytes, wire_bytes: u64) -> Vec<Arrival> {
         let start = now.max(self.busy_until);
         let ser_ns = (wire_bytes as f64 * 8.0 / self.rate_bps * 1e9) as SimTime;
         self.busy_until = start + ser_ns;
         if self.rng.next_f64() < self.faults.drop_prob {
             self.dropped += 1;
-            return LinkOutcome::Dropped;
+            return Vec::new();
         }
         let bytes = if self.rng.next_f64() < self.faults.corrupt_prob {
             self.corrupted += 1;
@@ -135,7 +145,23 @@ impl Link {
         } else {
             bytes
         };
-        LinkOutcome::Deliver { at: self.busy_until + self.latency_ns, bytes }
+        let mut out = Vec::with_capacity(1);
+        let at = self.busy_until + self.latency_ns + self.jitter();
+        out.push(Arrival { at, bytes: bytes.clone() });
+        if self.faults.dup_prob > 0.0 && self.rng.next_f64() < self.faults.dup_prob {
+            self.duplicated += 1;
+            let at = self.busy_until + self.latency_ns + self.jitter();
+            out.push(Arrival { at, bytes });
+        }
+        out
+    }
+
+    fn jitter(&mut self) -> SimTime {
+        if self.faults.jitter_ns == 0 {
+            0
+        } else {
+            self.rng.next_u64() % self.faults.jitter_ns
+        }
     }
 
     /// The time until which this link is serializing.
@@ -170,24 +196,22 @@ mod tests {
     fn lossless_link_delivers_in_order_with_serialization() {
         let mut l = Link::new(8e9, 1_000, FaultProfile::lossless(), 0);
         // 1000 bytes at 8 Gbps = 1 µs serialization.
-        let o1 = l.offer(0, Bytes::from_static(b"x"), 1000);
-        let o2 = l.offer(0, Bytes::from_static(b"y"), 1000);
-        match (o1, o2) {
-            (LinkOutcome::Deliver { at: a1, .. }, LinkOutcome::Deliver { at: a2, .. }) => {
-                assert_eq!(a1, 1_000 + 1_000);
-                assert_eq!(a2, 2_000 + 1_000, "second packet queues behind the first");
-            }
-            other => panic!("unexpected outcomes: {other:?}"),
-        }
+        let o1 = l.transmit(0, Bytes::from_static(b"x"), 1000);
+        let o2 = l.transmit(0, Bytes::from_static(b"y"), 1000);
+        assert_eq!(o1.len(), 1);
+        assert_eq!(o2.len(), 1);
+        assert_eq!(o1[0].at, 1_000 + 1_000);
+        assert_eq!(o2[0].at, 2_000 + 1_000, "second packet queues behind the first");
     }
 
     #[test]
     fn drop_rate_approximates_profile() {
-        let mut l = Link::new(1e12, 0, FaultProfile { drop_prob: 0.3, corrupt_prob: 0.0 }, 42);
+        let faults = FaultProfile { drop_prob: 0.3, ..FaultProfile::lossless() };
+        let mut l = Link::new(1e12, 0, faults, 42);
         let n = 20_000;
         let mut dropped = 0;
         for i in 0..n {
-            if matches!(l.offer(i, Bytes::from_static(b"p"), 64), LinkOutcome::Dropped) {
+            if l.transmit(i, Bytes::from_static(b"p"), 64).is_empty() {
                 dropped += 1;
             }
         }
@@ -197,15 +221,52 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_bit() {
-        let mut l = Link::new(1e12, 0, FaultProfile { drop_prob: 0.0, corrupt_prob: 1.0 }, 9);
+        let faults = FaultProfile { corrupt_prob: 1.0, ..FaultProfile::lossless() };
+        let mut l = Link::new(1e12, 0, faults, 9);
         let orig = Bytes::from_static(b"hello world");
-        match l.offer(0, orig.clone(), 64) {
-            LinkOutcome::Deliver { bytes, .. } => {
-                let diff: u32 =
-                    orig.iter().zip(bytes.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
-                assert_eq!(diff, 1);
+        let arrivals = l.transmit(0, orig.clone(), 64);
+        assert_eq!(arrivals.len(), 1, "corruption must not drop");
+        let diff: u32 =
+            orig.iter().zip(arrivals[0].bytes.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn duplication_delivers_the_same_bytes_twice() {
+        let faults = FaultProfile { dup_prob: 1.0, ..FaultProfile::lossless() };
+        let mut l = Link::new(1e12, 100, faults, 3);
+        let arrivals = l.transmit(0, Bytes::from_static(b"frame"), 64);
+        assert_eq!(arrivals.len(), 2);
+        assert_eq!(arrivals[0].bytes, arrivals[1].bytes);
+        assert_eq!(l.duplicated, 1);
+    }
+
+    #[test]
+    fn jitter_reorders_back_to_back_packets() {
+        // With jitter far above the serialization gap, some later packet
+        // must arrive before an earlier one.
+        let faults = FaultProfile { jitter_ns: 100_000, ..FaultProfile::lossless() };
+        let mut l = Link::new(1e12, 0, faults, 11);
+        let mut last = 0u64;
+        let mut reordered = false;
+        for i in 0..100 {
+            let a = l.transmit(i, Bytes::from_static(b"p"), 64);
+            if a[0].at < last {
+                reordered = true;
             }
-            LinkOutcome::Dropped => panic!("should not drop"),
+            last = a[0].at;
+        }
+        assert!(reordered, "jitter must be able to reorder arrivals");
+    }
+
+    #[test]
+    fn zero_jitter_preserves_fifo_order() {
+        let mut l = Link::new(1e9, 500, FaultProfile::lossless(), 0);
+        let mut last = 0u64;
+        for i in 0..100 {
+            let a = l.transmit(i, Bytes::from_static(b"p"), 125);
+            assert!(a[0].at >= last, "lossless link must stay FIFO");
+            last = a[0].at;
         }
     }
 
@@ -214,8 +275,8 @@ mod tests {
         let mut slow = Link::new(1e9, 0, FaultProfile::lossless(), 0);
         let mut fast = Link::new(10e9, 0, FaultProfile::lossless(), 0);
         for _ in 0..100 {
-            slow.offer(0, Bytes::from_static(b"p"), 125);
-            fast.offer(0, Bytes::from_static(b"p"), 125);
+            slow.transmit(0, Bytes::from_static(b"p"), 125);
+            fast.transmit(0, Bytes::from_static(b"p"), 125);
         }
         assert!(fast.busy_until() * 9 < slow.busy_until());
     }

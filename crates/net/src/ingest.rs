@@ -123,6 +123,18 @@ impl MasterIngestModel {
         (per_shard as usize).clamp(32, 8192)
     }
 
+    /// The bounded-channel depth (frames buffered per shard) the streamed
+    /// runtime should run at, derived from the link instead of a
+    /// constant: roughly how many batches one shard's share of the
+    /// downlink delivers while the master digests one batch
+    /// (`arrival / service`), plus one in-flight slot. Deep enough that a
+    /// paced sender never starves the merge plane, shallow enough that
+    /// backpressure engages before the master's backlog regime.
+    pub fn suggested_depth(&self, shards: usize) -> usize {
+        let per_shard = self.arrival_rate.min(self.nic_cap_rate / shards.max(1) as f64);
+        ((per_shard / self.base_service_rate).ceil() as usize + 1).clamp(2, 64)
+    }
+
     /// The shard planner's cost query: the modelled master latency of
     /// ingesting `entries` survivors streamed concurrently by `shards`
     /// workers. This is the fan-in curve the planner walks to decide
@@ -294,6 +306,28 @@ mod tests {
         // A tiny backlog budget still yields a workable batch.
         let tight = MasterIngestModel { backlog_halving: 1.0, ..m };
         assert_eq!(tight.suggested_batch(8), 32);
+    }
+
+    #[test]
+    fn suggested_depth_follows_the_link_and_stays_bounded() {
+        let m = MasterIngestModel::default_rack();
+        // 10 M/s arrivals over a 2.5 M/s operator: four batches arrive
+        // per batch digested, plus one in-flight slot.
+        assert_eq!(m.suggested_depth(1), 5);
+        assert_eq!(m.suggested_depth(4), 5, "NIC cap not binding yet");
+        // At 8 shards each gets 5 M/s of the 40G downlink: shallower.
+        assert_eq!(m.suggested_depth(8), 3);
+        let mut last = usize::MAX;
+        for shards in [1usize, 2, 4, 8, 16, 64, 1024] {
+            let d = m.suggested_depth(shards);
+            assert!((2..=64).contains(&d), "depth {d} out of range");
+            assert!(d <= last, "more shards must not deepen the channel: {d} > {last}");
+            last = d;
+        }
+        assert_eq!(m.suggested_depth(0), m.suggested_depth(1));
+        // A very slow operator saturates the cap instead of exploding.
+        let slow = MasterIngestModel { base_service_rate: 1.0, ..m };
+        assert_eq!(slow.suggested_depth(1), 64);
     }
 
     // ------------------------------------------------------------------

@@ -8,12 +8,20 @@
 //! * [`wire`] — the data/ACK/FIN packet formats with defensive parsing
 //!   and checksums (malformed packets are typed errors, never panics);
 //! * [`channel`] — seeded link models: serialization rate, latency, and
-//!   smoltcp-style fault injection (drop/corrupt probabilities);
+//!   smoltcp-style fault injection (drop/corrupt/duplicate probabilities
+//!   plus jitter-induced reordering);
 //! * [`reliability`] — the §7.2 state machines: the switch's
 //!   `Y = X+1 / Y ≤ X / Y > X+1` sequencing rules, the workers'
 //!   go-back-N window, the master's dedup;
 //! * [`transfer`] — a deterministic discrete-event simulation of the full
 //!   rack (`W` workers → switch → master) running any pruning function;
+//! * [`fabric`] — the same rack carrying the streamed runtime's
+//!   [`SurvivorBatch`] frames end-to-end, with the worker/switch/master
+//!   roles running the [`reliability`] state machines so retransmits flow
+//!   for real;
+//! * [`checker`] — a dslab-mp-style bounded model checker that
+//!   exhaustively enumerates delivery schedules (orders, drops,
+//!   duplicates) of small frame sets for the merge-plane contract gate;
 //! * [`model`] — byte-level transfer accounting for the query engine: the
 //!   serialized entry ([`Encoded`]), its modelled wire size, and the
 //!   phase/transfer breakdown with the Figure 8 completion model;
@@ -33,6 +41,8 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod checker;
+pub mod fabric;
 pub mod ingest;
 pub mod model;
 pub mod reliability;
@@ -40,7 +50,9 @@ pub mod stream;
 pub mod transfer;
 pub mod wire;
 
-pub use channel::{FaultProfile, Link, LinkOutcome, SimRng, SimTime};
+pub use channel::{Arrival, FaultProfile, Link, SimRng, SimTime};
+pub use checker::{explore, CheckerConfig, Delivery, DeliveryKind, ExploreStats};
+pub use fabric::{bdp_window, FabricConfig, FabricReport, FabricSim};
 pub use ingest::MasterIngestModel;
 pub use model::{Encoded, ExecBackend, ExecBreakdown, ENTRY_WIRE_BYTES};
 pub use reliability::{MasterFlow, SwitchAction, SwitchFlow, WorkerFlow};

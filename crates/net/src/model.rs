@@ -146,6 +146,9 @@ pub struct ExecBreakdown {
     /// Empty for direct runs (and for JSON baselines recorded before the
     /// serving plane existed).
     pub tenant: String,
+    /// Survivor-batch frames the workers retransmitted under a faulty
+    /// channel (go-back-N resends). Zero on every lossless path.
+    pub retransmits: u64,
 }
 
 impl Default for ExecBreakdown {
@@ -165,6 +168,7 @@ impl Default for ExecBreakdown {
             backend: ExecBackend::default(),
             queue_seconds: 0.0,
             tenant: String::new(),
+            retransmits: 0,
         }
     }
 }

@@ -286,4 +286,194 @@ mod tests {
         assert_eq!(m.duplicates, 1);
         assert!(m.has(1) && !m.has(3));
     }
+
+    // ------------------------------------------------------------------
+    // Property tests: go-back-N window edges under arbitrary ACK loss,
+    // duplicate ACKs, and the ForwardStale superset invariant.
+    // ------------------------------------------------------------------
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+        /// Under any ACK-loss pattern the window never holds more than
+        /// `window` unacked sequences, wraps cleanly past every multiple
+        /// of the window size, and the flow still completes once losses
+        /// stop recurring.
+        #[test]
+        fn window_never_overflows_and_completes_under_ack_loss(
+            total in 0u64..48,
+            window in 1u64..13,
+            ack_loss in prop::collection::vec(any::<bool>(), 0..256),
+        ) {
+            let mut w = WorkerFlow::new(0, total, window);
+            let mut loss = ack_loss.into_iter().chain(std::iter::repeat(false));
+            let mut rounds = 0u32;
+            while !w.all_acked() {
+                rounds += 1;
+                prop_assert!(rounds < 1_000, "flow failed to complete");
+                let mut in_flight = w.sendable();
+                for &s in &in_flight {
+                    prop_assert!(s >= w.base() && s < w.base() + window, "seq {s} outside window");
+                }
+                in_flight.extend(w.on_timeout());
+                for s in in_flight {
+                    if !loss.next().unwrap() {
+                        w.on_ack(s);
+                    }
+                }
+            }
+            prop_assert_eq!(w.base(), total + 1, "completion means base walked past total");
+            prop_assert!(w.sendable().is_empty());
+            prop_assert!(w.on_timeout().is_empty());
+        }
+
+        /// A timeout retransmits exactly unacked in-window sequences:
+        /// nothing acked, nothing outside the window, counted precisely.
+        #[test]
+        fn timeout_resends_only_unacked_in_window(
+            total in 1u64..40,
+            window in 1u64..12,
+            acks in prop::collection::vec(1u64..40, 0..40),
+        ) {
+            let mut w = WorkerFlow::new(0, total, window);
+            w.sendable();
+            let mut acked = HashSet::new();
+            for &s in &acks {
+                if s >= w.base() && s <= w.total() {
+                    acked.insert(s);
+                }
+                w.on_ack(s);
+                w.sendable();
+            }
+            let before = w.retransmissions;
+            let resent = w.on_timeout();
+            prop_assert_eq!(w.retransmissions - before, resent.len() as u64);
+            for &s in &resent {
+                prop_assert!(!acked.contains(&s), "retransmitted an acked seq {s}");
+                prop_assert!(s >= w.base() && s < w.base() + window);
+            }
+            // Sorted and unique by construction of go-back-N.
+            let mut sorted = resent.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted, resent);
+        }
+
+        /// Delivering every ACK twice (duplicate ACKs from retransmit
+        /// overlap) leaves the sender in exactly the state of a
+        /// single-delivery run.
+        #[test]
+        fn duplicate_acks_reach_the_same_state_as_single_acks(
+            total in 1u64..30,
+            window in 1u64..10,
+            acks in prop::collection::vec(1u64..30, 0..90),
+        ) {
+            let mut once = WorkerFlow::new(0, total, window);
+            let mut twice = WorkerFlow::new(1, total, window);
+            once.sendable();
+            twice.sendable();
+            for &s in &acks {
+                once.on_ack(s);
+                twice.on_ack(s);
+                twice.on_ack(s);
+                once.sendable();
+                twice.sendable();
+            }
+            prop_assert_eq!(once.base(), twice.base());
+            prop_assert_eq!(once.all_acked(), twice.all_acked());
+            prop_assert_eq!(once.on_timeout(), twice.on_timeout());
+        }
+
+        /// The switch processes each sequence exactly once, in order:
+        /// `Process` verdicts form the prefix 1, 2, 3, …; `ForwardStale`
+        /// fires only at or below the high-water mark; `DropAhead` never
+        /// advances state.
+        #[test]
+        fn switch_classification_is_a_strict_prefix_machine(
+            arrivals in prop::collection::vec(1u64..=14, 0..120),
+        ) {
+            let mut f = SwitchFlow::new();
+            let mut processed = 0u64;
+            for &s in &arrivals {
+                match f.classify(s) {
+                    SwitchAction::Process => {
+                        processed += 1;
+                        prop_assert_eq!(s, processed, "processed out of order");
+                    }
+                    SwitchAction::ForwardStale => prop_assert!(s <= f.last_processed()),
+                    SwitchAction::DropAhead => prop_assert!(s > f.last_processed() + 1),
+                }
+                prop_assert_eq!(f.last_processed(), processed);
+            }
+        }
+
+        /// The §7.2 superset invariant: stale retransmissions may deliver
+        /// *pruned* entries to the master, but because pruning is sound
+        /// (a pruned entry can never win the query), the master's answer
+        /// over its deduplicated superset equals the lossless answer.
+        /// Modelled with a MAX query and a threshold pruner.
+        #[test]
+        fn forward_stale_superset_never_changes_the_answer(
+            values in prop::collection::vec(0u64..1_000, 1..16),
+            chaos in prop::collection::vec(1usize..=16, 0..64),
+        ) {
+            let n = values.len();
+            // Sound pruning for MAX: drop anything strictly below the
+            // true maximum (the winner always survives).
+            let truth = *values.iter().max().unwrap();
+            let prune = |v: u64| v < truth;
+
+            // Arbitrary arrival schedule at the switch — retransmissions,
+            // reordering, duplicates — then one clean in-order pass, the
+            // eventual delivery go-back-N guarantees.
+            let arrivals =
+                chaos.iter().filter(|&&s| s <= n).map(|&s| s as u64).chain(1..=n as u64);
+
+            let mut switch = SwitchFlow::new();
+            let mut master = MasterFlow::default();
+            let mut delivered: Vec<u64> = Vec::new();
+            let mut pruned_then_acked = HashSet::new();
+            for seq in arrivals {
+                let v = values[(seq - 1) as usize];
+                match switch.classify(seq) {
+                    SwitchAction::Process => {
+                        if prune(v) {
+                            pruned_then_acked.insert(seq); // switch ACKs it
+                        } else if master.on_data(seq) {
+                            delivered.push(v);
+                        }
+                    }
+                    // Forwarded *without* reprocessing: even a previously
+                    // pruned entry reaches the master here.
+                    SwitchAction::ForwardStale => {
+                        if master.on_data(seq) {
+                            delivered.push(v);
+                        }
+                    }
+                    SwitchAction::DropAhead => {}
+                }
+            }
+            // Every unpruned entry arrived (the clean pass guarantees it)…
+            for seq in 1..=n as u64 {
+                if !prune(values[(seq - 1) as usize]) {
+                    prop_assert!(master.has(seq), "unpruned seq {seq} missing");
+                }
+            }
+            // …extras are only ever entries the switch had already pruned
+            // and ACKed (superset bounded by the full input)…
+            prop_assert!(delivered.len() <= n);
+            for seq in 1..=n as u64 {
+                if master.has(seq) && prune(values[(seq - 1) as usize]) {
+                    prop_assert!(
+                        pruned_then_acked.contains(&seq),
+                        "pruned seq {seq} delivered without a prior Process"
+                    );
+                }
+            }
+            // …and the query answer over the superset is the lossless one.
+            prop_assert_eq!(delivered.iter().copied().max(), Some(truth));
+        }
+    }
 }

@@ -440,6 +440,90 @@ mod tests {
         }
     }
 
+    // ------------------------------------------------------------------
+    // The fault-injection contract: `channel.rs` claims corruption
+    // degrades to an effective drop because the checksum catches it. For
+    // a 16-bit ones'-complement sum that claim is exact for any
+    // *single-octet* corruption — changing one octet changes one 16-bit
+    // summand by a delta in ±(1..=0xFF00), never ≡ 0 (mod 0xFFFF) — so
+    // we can demand `BadChecksum` for every position × every XOR mask.
+    // ------------------------------------------------------------------
+
+    /// Assert every single-octet corruption of `frame` at `positions` is
+    /// rejected, for all 255 non-identity XOR masks.
+    fn assert_octet_corruptions_rejected(frame: &Bytes, positions: impl Iterator<Item = usize>) {
+        for i in positions {
+            for mask in 1u8..=255 {
+                let mut m = frame.to_vec();
+                m[i] ^= mask;
+                assert_eq!(
+                    SurvivorBatch::parse(Bytes::from(m)),
+                    Err(WireError::BadChecksum),
+                    "octet {i} ^ {mask:#04x} slipped past the checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_octet_corruption_of_an_empty_batch_is_caught() {
+        let frame = emit_batch(7, 3, std::iter::empty::<&[u8]>());
+        let len = frame.len();
+        assert_octet_corruptions_rejected(&frame, 0..len);
+    }
+
+    #[test]
+    fn every_single_octet_corruption_of_a_one_survivor_frame_is_caught() {
+        let frame = emit_batch(2, 11, [b"one-survivor \x00\xff payload".as_ref()]);
+        let len = frame.len();
+        assert_octet_corruptions_rejected(&frame, 0..len);
+    }
+
+    #[test]
+    fn every_single_octet_corruption_of_a_small_multi_item_frame_is_caught() {
+        let frame = frame(&[b"abc", b"", b"\xff\xff", b"0123456789"]);
+        let len = frame.len();
+        assert_octet_corruptions_rejected(&frame, 0..len);
+    }
+
+    #[test]
+    fn single_octet_corruption_of_the_max_size_frame_is_caught() {
+        // The ones'-complement sum is word-position-independent: whether
+        // octet `i` is caught depends only on `i`'s parity within its
+        // 16-bit word and the mask — both swept exhaustively on the small
+        // frames above. Here the boundary case (a frame at
+        // MAX_BATCH_ITEMS) is sampled: full header and trailer, strided
+        // arena and offset-column positions, all masks at each.
+        let mut b = FrameBuilder::new();
+        b.begin(1, 2);
+        for i in 0..MAX_BATCH_ITEMS {
+            b.push_with(|buf| buf.put_u8((i % 251) as u8));
+        }
+        let frame = b.finish();
+        let len = frame.len();
+        // All 255 masks at one even- and one odd-parity octet (the only
+        // two positional classes the sum distinguishes)…
+        assert_octet_corruptions_rejected(&frame, [HEADER_BYTES, HEADER_BYTES + 1].into_iter());
+        // …then a representative mask set across the header, strided
+        // arena/offset positions (odd stride hits both parities), and the
+        // checksum trailer. Checksumming 327 kB per parse is what bounds
+        // this test in debug CI, not the position count.
+        let header = 0..HEADER_BYTES;
+        let strided = (HEADER_BYTES..len - 2).step_by((len / 16) | 1);
+        let trailer = len - 2..len;
+        for i in header.chain(strided).chain(trailer) {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut m = frame.to_vec();
+                m[i] ^= mask;
+                assert_eq!(
+                    SurvivorBatch::parse(Bytes::from(m)),
+                    Err(WireError::BadChecksum),
+                    "octet {i} ^ {mask:#04x} slipped past the checksum"
+                );
+            }
+        }
+    }
+
     // Fuzz-ish properties over arbitrary item multisets and corruptions.
     proptest! {
         #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]

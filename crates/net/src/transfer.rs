@@ -12,7 +12,7 @@
 //! pruning contract, yields exactly the same query output as a lossless
 //! run.
 
-use crate::channel::{FaultProfile, Link, LinkOutcome, SimTime};
+use crate::channel::{Arrival, FaultProfile, Link, SimTime};
 use crate::reliability::{MasterFlow, SwitchAction, SwitchFlow, WorkerFlow};
 use crate::wire::{AckPacket, AckSource, DataPacket, Packet};
 use bytes::Bytes;
@@ -207,7 +207,7 @@ impl<'a> TransferSim<'a> {
                 let values = self.streams[w][(seq - 1) as usize].clone();
                 let pkt = Packet::Data(DataPacket { fid: w as u32, seq, values });
                 let wire = pkt.wire_bytes();
-                if let LinkOutcome::Deliver { at, bytes } = uplinks[w].offer(0, pkt.emit(), wire) {
+                for Arrival { at, bytes } in uplinks[w].transmit(0, pkt.emit(), wire) {
                     push(&mut heap, at, Event::SwitchRx(bytes));
                 }
             }
@@ -247,8 +247,8 @@ impl<'a> TransferSim<'a> {
                                             source: AckSource::SwitchPruned,
                                         });
                                         let wire = ack.wire_bytes();
-                                        if let LinkOutcome::Deliver { at, bytes } =
-                                            ack_links[w].offer(now, ack.emit(), wire)
+                                        for Arrival { at, bytes } in
+                                            ack_links[w].transmit(now, ack.emit(), wire)
                                         {
                                             push(&mut heap, at, Event::WorkerRx(w, bytes));
                                         }
@@ -256,8 +256,8 @@ impl<'a> TransferSim<'a> {
                                     Verdict::Forward => {
                                         let fwd = Packet::Data(d);
                                         let wire = fwd.wire_bytes();
-                                        if let LinkOutcome::Deliver { at, bytes } =
-                                            downlink.offer(now, fwd.emit(), wire)
+                                        for Arrival { at, bytes } in
+                                            downlink.transmit(now, fwd.emit(), wire)
                                         {
                                             push(&mut heap, at, Event::MasterRx(bytes));
                                         }
@@ -267,8 +267,8 @@ impl<'a> TransferSim<'a> {
                                     forwarded_stale += 1;
                                     let fwd = Packet::Data(d);
                                     let wire = fwd.wire_bytes();
-                                    if let LinkOutcome::Deliver { at, bytes } =
-                                        downlink.offer(now, fwd.emit(), wire)
+                                    for Arrival { at, bytes } in
+                                        downlink.transmit(now, fwd.emit(), wire)
                                     {
                                         push(&mut heap, at, Event::MasterRx(bytes));
                                     }
@@ -281,9 +281,7 @@ impl<'a> TransferSim<'a> {
                         // FINs pass through the switch unmodified.
                         fin @ Packet::Fin { .. } => {
                             let wire = fin.wire_bytes();
-                            if let LinkOutcome::Deliver { at, bytes } =
-                                downlink.offer(now, fin.emit(), wire)
-                            {
+                            for Arrival { at, bytes } in downlink.transmit(now, fin.emit(), wire) {
                                 push(&mut heap, at, Event::MasterRx(bytes));
                             }
                         }
@@ -313,8 +311,8 @@ impl<'a> TransferSim<'a> {
                                 source: AckSource::Master,
                             });
                             let wire = ack.wire_bytes();
-                            if let LinkOutcome::Deliver { at, bytes } =
-                                ack_links[w].offer(now, ack.emit(), wire)
+                            for Arrival { at, bytes } in
+                                ack_links[w].transmit(now, ack.emit(), wire)
                             {
                                 push(&mut heap, at, Event::WorkerRx(w, bytes));
                             }
@@ -327,8 +325,8 @@ impl<'a> TransferSim<'a> {
                             master_flows[w].fin_seen = true;
                             let ack = Packet::FinAck { fid };
                             let wire = ack.wire_bytes();
-                            if let LinkOutcome::Deliver { at, bytes } =
-                                ack_links[w].offer(now, ack.emit(), wire)
+                            for Arrival { at, bytes } in
+                                ack_links[w].transmit(now, ack.emit(), wire)
                             {
                                 push(&mut heap, at, Event::WorkerRx(w, bytes));
                             }
@@ -354,8 +352,8 @@ impl<'a> TransferSim<'a> {
                                     let pkt =
                                         Packet::Data(DataPacket { fid: w as u32, seq, values });
                                     let wire = pkt.wire_bytes();
-                                    if let LinkOutcome::Deliver { at, bytes } =
-                                        uplinks[w].offer(now, pkt.emit(), wire)
+                                    for Arrival { at, bytes } in
+                                        uplinks[w].transmit(now, pkt.emit(), wire)
                                     {
                                         push(&mut heap, at, Event::SwitchRx(bytes));
                                     }
@@ -368,8 +366,8 @@ impl<'a> TransferSim<'a> {
                                 let fin =
                                     Packet::Fin { fid: w as u32, last_seq: workers[w].total() };
                                 let wire = fin.wire_bytes();
-                                if let LinkOutcome::Deliver { at, bytes } =
-                                    uplinks[w].offer(now, fin.emit(), wire)
+                                for Arrival { at, bytes } in
+                                    uplinks[w].transmit(now, fin.emit(), wire)
                                 {
                                     push(&mut heap, at, Event::SwitchRx(bytes));
                                 }
@@ -398,9 +396,7 @@ impl<'a> TransferSim<'a> {
                         fin_sent[w] = true;
                         let fin = Packet::Fin { fid: w as u32, last_seq: workers[w].total() };
                         let wire = fin.wire_bytes();
-                        if let LinkOutcome::Deliver { at, bytes } =
-                            uplinks[w].offer(now, fin.emit(), wire)
-                        {
+                        for Arrival { at, bytes } in uplinks[w].transmit(now, fin.emit(), wire) {
                             push(&mut heap, at, Event::SwitchRx(bytes));
                         }
                         push(&mut heap, now + self.cfg.rto_ns, Event::Timer(w, epoch));
@@ -411,9 +407,7 @@ impl<'a> TransferSim<'a> {
                         let values = self.streams[w][(seq - 1) as usize].clone();
                         let pkt = Packet::Data(DataPacket { fid: w as u32, seq, values });
                         let wire = pkt.wire_bytes();
-                        if let LinkOutcome::Deliver { at, bytes } =
-                            uplinks[w].offer(now, pkt.emit(), wire)
-                        {
+                        for Arrival { at, bytes } in uplinks[w].transmit(now, pkt.emit(), wire) {
                             push(&mut heap, at, Event::SwitchRx(bytes));
                         }
                     }
@@ -484,7 +478,11 @@ mod tests {
         // The §7.2 guarantee: every entry is either delivered or was
         // pruned-and-processed, even at harsh loss rates.
         let cfg = TransferConfig {
-            faults: FaultProfile { drop_prob: 0.10, corrupt_prob: 0.05 },
+            faults: FaultProfile {
+                drop_prob: 0.10,
+                corrupt_prob: 0.05,
+                ..FaultProfile::lossless()
+            },
             rto_ns: 200_000,
             ..Default::default()
         };
@@ -518,7 +516,7 @@ mod tests {
         // With loss on the ACK path, a pruned packet can be retransmitted;
         // the switch must forward it rather than reprocess (Y ≤ X rule).
         let cfg = TransferConfig {
-            faults: FaultProfile { drop_prob: 0.25, corrupt_prob: 0.0 },
+            faults: FaultProfile { drop_prob: 0.25, ..FaultProfile::lossless() },
             rto_ns: 100_000,
             ..Default::default()
         };
@@ -534,7 +532,7 @@ mod tests {
     #[test]
     fn gap_drops_happen_under_loss() {
         let cfg = TransferConfig {
-            faults: FaultProfile { drop_prob: 0.2, corrupt_prob: 0.0 },
+            faults: FaultProfile { drop_prob: 0.2, ..FaultProfile::lossless() },
             rto_ns: 100_000,
             window: 32,
             ..Default::default()
@@ -549,7 +547,7 @@ mod tests {
     #[test]
     fn corruption_is_detected_and_recovered() {
         let cfg = TransferConfig {
-            faults: FaultProfile { drop_prob: 0.0, corrupt_prob: 0.10 },
+            faults: FaultProfile { corrupt_prob: 0.10, ..FaultProfile::lossless() },
             rto_ns: 100_000,
             ..Default::default()
         };

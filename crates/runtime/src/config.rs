@@ -1,7 +1,8 @@
 //! Tuning of one streamed execution.
 
 use cheetah_db::{ShardPlanner, ShardSpec};
-use cheetah_net::MasterIngestModel;
+use cheetah_net::{FaultProfile, MasterIngestModel};
+use std::time::Duration;
 
 /// How the streamed runtime picks its shard layout — the same two choices
 /// the barrier twins offer.
@@ -33,8 +34,15 @@ pub struct StreamSpec {
     /// shared channel is bounded at `channel_depth × shards` frames, so
     /// this caps the *aggregate* backlog (senders block when the merge
     /// plane falls behind — the backpressure that stands in for the
-    /// paper's token-bucket pacing), not each shard individually.
-    pub channel_depth: usize,
+    /// paper's token-bucket pacing), not each shard individually. `None`
+    /// derives the depth from the ingest model's link rates
+    /// ([`suggested_depth`](MasterIngestModel::suggested_depth)) — the
+    /// NIC-paced default.
+    pub channel_depth: Option<usize>,
+    /// Faulty-channel mode: when set, worker→master frames pass through a
+    /// seeded lossy channel and the §7.2 go-back-N/ACK machinery runs for
+    /// real. `None` keeps today's perfect in-process channel.
+    pub fault: Option<FaultSpec>,
     /// Dispatched-load imbalance (hottest shard over the balanced share)
     /// above which the supervisor re-samples and re-fits — defaults to
     /// the planner contract's 2× bound.
@@ -72,11 +80,45 @@ impl Default for StreamSpec {
             layout: ShardLayout::Planned(ShardPlanner::default()),
             batch: None,
             rounds: 4,
-            channel_depth: 2,
+            channel_depth: None,
+            fault: None,
             imbalance_factor: 2.0,
             replan: true,
             supervisor_sample: 512,
         }
+    }
+}
+
+/// The streamed runtime's faulty-channel mode: every survivor frame a
+/// worker emits crosses a seeded lossy link (drops, single-octet
+/// corruption, duplication), and the worker runs the §7.2 go-back-N
+/// window over per-frame master ACKs, so the run only completes once
+/// every frame has actually been merged.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Fault probabilities applied to each frame transmission.
+    pub profile: FaultProfile,
+    /// Seed of the per-shard fault streams (shard id is mixed in), so a
+    /// lossy run is reproducible frame for frame.
+    pub seed: u64,
+    /// Go-back-N window in frames; `None` uses the resolved channel
+    /// depth (the NIC-paced in-flight budget).
+    pub window: Option<u64>,
+    /// Retransmission timeout: how long a worker waits on an ACK before
+    /// resending its unacked window.
+    pub rto: Duration,
+}
+
+impl FaultSpec {
+    /// A lossy channel with the given profile and seed, window derived
+    /// from the channel depth and a CI-friendly 2 ms RTO.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        Self { profile, seed, window: None, rto: Duration::from_millis(2) }
+    }
+
+    /// The smoltcp-style harsh profile (15% drop + 15% corrupt).
+    pub fn harsh(seed: u64) -> Self {
+        Self::new(FaultProfile::harsh(), seed)
     }
 }
 
@@ -95,6 +137,19 @@ mod tests {
         let planned = StreamSpec::planned(ShardPlanner::default());
         assert!(matches!(planned.layout, ShardLayout::Planned(_)));
         assert!(planned.batch.is_none());
+        assert!(planned.channel_depth.is_none(), "depth defaults to the NIC-paced suggestion");
+        assert!(planned.fault.is_none(), "the channel is perfect unless asked otherwise");
+    }
+
+    #[test]
+    fn fault_spec_constructors_pick_sane_knobs() {
+        let harsh = FaultSpec::harsh(7);
+        assert_eq!(harsh.seed, 7);
+        assert!(harsh.profile.drop_prob > 0.0 && harsh.profile.corrupt_prob > 0.0);
+        assert!(harsh.window.is_none(), "window follows the resolved channel depth");
+        assert!(harsh.rto > Duration::ZERO);
+        let mild = FaultSpec::new(FaultProfile { drop_prob: 0.01, ..FaultProfile::lossless() }, 3);
+        assert_eq!(mild.profile.corrupt_prob, 0.0);
     }
 
     #[test]

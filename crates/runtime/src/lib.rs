@@ -78,7 +78,7 @@ pub mod pool;
 pub mod runtime;
 pub mod supervisor;
 
-pub use config::{ShardLayout, StreamSpec};
+pub use config::{FaultSpec, ShardLayout, StreamSpec};
 pub use pool::{PooledExecution, WorkerPool, WorkerScratch};
 pub use runtime::{StreamLayout, StreamedExecution, StreamedRun};
 pub use supervisor::{ReplanEvent, RuntimeSupervisor};

@@ -27,7 +27,7 @@
 //! merge work performed while the slowest worker was still computing —
 //! can be read directly out of the event log afterwards.
 
-use crate::config::{ShardLayout, StreamSpec};
+use crate::config::{FaultSpec, ShardLayout, StreamSpec};
 use crate::pool::WorkerPool;
 use crate::supervisor::{ReplanEvent, RuntimeSupervisor};
 use bytes::Bytes;
@@ -36,7 +36,10 @@ use cheetah_db::{
     decompose_output, fixed_sharder, route_range, routing_keys, Cluster, DbQuery, MergeState,
     QueryOutput, ShardStats, Table,
 };
-use cheetah_net::{ExecBackend, ExecBreakdown, MasterIngestModel, SurvivorBatch, MAX_BATCH_ITEMS};
+use cheetah_net::{
+    ExecBackend, ExecBreakdown, MasterIngestModel, SimRng, SurvivorBatch, SwitchAction, SwitchFlow,
+    WorkerFlow, MAX_BATCH_ITEMS,
+};
 use cheetah_switch::ProgramStats;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -165,6 +168,7 @@ pub struct StreamLayout {
     rounds: usize,
     batch_size: usize,
     channel_depth: usize,
+    fault: Option<FaultSpec>,
     ingest: MasterIngestModel,
     decision: PlanDecision,
     plan: Option<ShardPlan>,
@@ -197,7 +201,9 @@ impl StreamLayout {
     /// `units[round][shard]` must be rectangular and non-empty: every
     /// round slices the input across the same shard set. `batch` of
     /// `None` asks the ingest model for its suggested batch size, as
-    /// [`plan_stream`] does.
+    /// [`plan_stream`] does; `channel_depth` of `None` likewise derives
+    /// the in-flight frame budget from the model's link rates
+    /// ([`suggested_depth`](MasterIngestModel::suggested_depth)).
     ///
     /// [`run_cheetah_streamed_resident`]: StreamedExecution::run_cheetah_streamed_resident
     /// [`plan_stream`]: StreamedExecution::plan_stream
@@ -208,7 +214,7 @@ impl StreamLayout {
         decision: PlanDecision,
         plan: Option<ShardPlan>,
         batch: Option<usize>,
-        channel_depth: usize,
+        channel_depth: Option<usize>,
     ) -> StreamLayout {
         assert!(
             !units.is_empty() && !units[0].is_empty(),
@@ -228,6 +234,8 @@ impl StreamLayout {
         }
         let batch_size =
             batch.unwrap_or_else(|| ingest.suggested_batch(shards)).clamp(1, MAX_BATCH_ITEMS);
+        let channel_depth =
+            channel_depth.map_or_else(|| ingest.suggested_depth(shards), |d| d.max(1));
         StreamLayout {
             units,
             right_units,
@@ -235,7 +243,8 @@ impl StreamLayout {
             shards,
             rounds,
             batch_size,
-            channel_depth: channel_depth.max(1),
+            channel_depth,
+            fault: None,
             ingest,
             decision,
             plan,
@@ -262,6 +271,8 @@ struct WorkerReport {
     finished_at: f64,
     /// Pruning backend the worker's unit runs actually executed on.
     backend: ExecBackend,
+    /// Go-back-N resends this shard's flow needed (zero when lossless).
+    retransmits: u64,
 }
 
 /// What the router hands back.
@@ -271,11 +282,15 @@ struct RouterReport {
 }
 
 /// The live channels of a spawned worker plane: one unit stream per
-/// shard in, survivor frames and end-of-stream reports out.
+/// shard in, survivor frames and end-of-stream reports out. Under a
+/// faulty channel the master also holds one unbounded ACK sender per
+/// shard (empty when lossless) — unbounded so acking never blocks the
+/// merge plane behind a slow worker.
 struct WorkerPlane {
     unit_txs: Vec<mpsc::Sender<WorkUnit>>,
     batch_rx: mpsc::Receiver<Bytes>,
     report_rx: mpsc::Receiver<(usize, cheetah_core::Result<WorkerReport>)>,
+    ack_txs: Vec<mpsc::Sender<u64>>,
 }
 
 /// Submit one pool job per shard: each owns its unit stream plus cheap
@@ -288,15 +303,23 @@ fn spawn_worker_plane(
     shards: usize,
     batch_size: usize,
     channel_depth: usize,
+    fault: Option<&FaultSpec>,
     epoch: Instant,
 ) -> WorkerPlane {
     let (batch_tx, batch_rx) = mpsc::sync_channel::<Bytes>(channel_depth.max(1) * shards);
     let (report_tx, report_rx) = mpsc::channel::<(usize, cheetah_core::Result<WorkerReport>)>();
     let mut unit_txs = Vec::with_capacity(shards);
+    let mut ack_txs = Vec::new();
+    let window = fault.map(|f| f.window.unwrap_or(channel_depth.max(1) as u64).max(1));
     let pool = WorkerPool::global();
     for shard in 0..shards {
         let (unit_tx, unit_rx) = mpsc::channel::<WorkUnit>();
         unit_txs.push(unit_tx);
+        let fault_lane = fault.map(|f| {
+            let (ack_tx, ack_rx) = mpsc::channel::<u64>();
+            ack_txs.push(ack_tx);
+            (f.clone(), ack_rx)
+        });
         let cluster = cluster.clone();
         let q = q.clone();
         let batch_tx = batch_tx.clone();
@@ -304,6 +327,10 @@ fn spawn_worker_plane(
         pool.spawn(move |scratch| {
             let mut rep = WorkerReport::default();
             let mut seq = 0u64;
+            // Under a faulty channel, frames are buffered instead of sent
+            // eagerly: the go-back-N window needs the whole flow (and its
+            // length) so retransmitted frames can be replayed verbatim.
+            let mut flow_frames: Vec<Bytes> = Vec::new();
             'units: for unit in unit_rx {
                 let run = match cluster.run_cheetah(&q, &unit.left, unit.right.as_deref()) {
                     Ok(run) => run,
@@ -337,12 +364,24 @@ fn spawn_worker_plane(
                     }
                     let frame = scratch.frames.finish();
                     seq += 1;
-                    if batch_tx.send(frame).is_err() {
+                    if fault_lane.is_some() {
+                        flow_frames.push(frame);
+                    } else if batch_tx.send(frame).is_err() {
                         // The merge plane hung up: pruning further
                         // units is pure waste.
                         break 'units;
                     }
                 }
+            }
+            if let Some((f, ack_rx)) = &fault_lane {
+                rep.retransmits = stream_lossy(
+                    shard,
+                    &flow_frames,
+                    f,
+                    window.expect("fault mode resolves a window"),
+                    &batch_tx,
+                    ack_rx,
+                );
             }
             rep.finished_at = epoch.elapsed().as_secs_f64();
             report_tx.send((shard, Ok(rep))).ok();
@@ -350,7 +389,76 @@ fn spawn_worker_plane(
     }
     // The master's recv loops must end when the last worker does — the
     // only live senders are the ones captured by the jobs.
-    WorkerPlane { unit_txs, batch_rx, report_rx }
+    WorkerPlane { unit_txs, batch_rx, report_rx, ack_txs }
+}
+
+/// Drive one shard's buffered frames to the master across the seeded
+/// lossy channel, under the §7.2 go-back-N window: every transmission
+/// draws its faults (drop / single-bit corruption / duplication) from
+/// the shard's own deterministic stream, per-frame ACKs advance the
+/// window, and an RTO with no ACK resends everything unacked. Returns
+/// the retransmission count once the master has acknowledged the whole
+/// flow.
+fn stream_lossy(
+    shard: usize,
+    frames: &[Bytes],
+    fault: &FaultSpec,
+    window: u64,
+    batch_tx: &mpsc::SyncSender<Bytes>,
+    ack_rx: &mpsc::Receiver<u64>,
+) -> u64 {
+    let mut rng = SimRng::new(fault.seed ^ ((shard as u64) << 8));
+    let mut flow = WorkerFlow::new(shard as u32, frames.len() as u64, window);
+    // Returns false when the merge plane hung up — sending further is
+    // pure waste.
+    let transmit = |seq: u64, rng: &mut SimRng| -> bool {
+        let frame = &frames[(seq - 1) as usize];
+        if rng.next_f64() < fault.profile.drop_prob {
+            // Lost on the wire; the RTO recovers it.
+            return true;
+        }
+        let bytes = if rng.next_f64() < fault.profile.corrupt_prob {
+            // One flipped bit of one octet — the master's frame checksum
+            // rejects it, it earns no ACK, and go-back-N resends it.
+            let mut m = frame.to_vec();
+            let i = rng.below(m.len());
+            m[i] ^= 1 << rng.below(8);
+            Bytes::from(m)
+        } else {
+            frame.clone()
+        };
+        let dup = fault.profile.dup_prob > 0.0 && rng.next_f64() < fault.profile.dup_prob;
+        if batch_tx.send(bytes.clone()).is_err() {
+            return false;
+        }
+        !(dup && batch_tx.send(bytes).is_err())
+    };
+    while !flow.all_acked() {
+        for s in flow.sendable() {
+            if !transmit(s, &mut rng) {
+                return flow.retransmissions;
+            }
+        }
+        match ack_rx.recv_timeout(fault.rto) {
+            Ok(s) => {
+                flow.on_ack(s);
+                // Drain whatever else is queued before refilling the
+                // window — cheaper than one send per ack round-trip.
+                while let Ok(s) = ack_rx.try_recv() {
+                    flow.on_ack(s);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                for s in flow.on_timeout() {
+                    if !transmit(s, &mut rng) {
+                        return flow.retransmissions;
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return flow.retransmissions,
+        }
+    }
+    flow.retransmissions
 }
 
 /// The master merge plane: fold survivor slices as frames land, then
@@ -366,22 +474,50 @@ fn drain_merge_plane(
     router: RouterReport,
     ctx: AssembleCtx,
 ) -> cheetah_core::Result<StreamedRun> {
-    let WorkerPlane { unit_txs, batch_rx, report_rx } = plane;
+    let WorkerPlane { unit_txs, batch_rx, report_rx, ack_txs } = plane;
     debug_assert!(unit_txs.is_empty(), "dispatch must close the unit streams");
     drop(unit_txs);
     let shards = ctx.shards;
+    let faulty = !ack_txs.is_empty();
     let mut state = MergeState::new(q);
     let mut merge_events: Vec<(f64, f64)> = Vec::new();
     let mut batches = 0u64;
     let mut batch_wire_bytes = 0u64;
+    // Per-shard §7.2 switch sequencing state (faulty channel only): the
+    // in-process merge plane doubles as the switch's reliability role.
+    let mut switches: Vec<SwitchFlow> = (0..shards).map(|_| SwitchFlow::new()).collect();
     while let Ok(frame) = batch_rx.recv() {
         let start = epoch.elapsed().as_secs_f64();
-        let batch = SurvivorBatch::parse(frame).expect("in-memory survivor frame round-trips");
-        batch_wire_bytes += batch.wire_bytes();
-        batches += 1;
-        state.ingest_slices(batch.items()).expect("merge item round-trips");
+        if faulty {
+            // A corrupted frame fails the checksum here, earns no ACK,
+            // and the worker's go-back-N timeout resends it.
+            if let Ok(batch) = SurvivorBatch::parse(frame) {
+                let shard = batch.shard as usize;
+                match switches[shard].classify(batch.seq + 1) {
+                    // A gap: an earlier frame was lost. Dropping keeps
+                    // the switch stream-ordered; the resend fills it.
+                    SwitchAction::DropAhead => {}
+                    SwitchAction::Process | SwitchAction::ForwardStale => {
+                        // Retransmits that already merged dedup here
+                        // (Ok(false)); either way the sender hears an
+                        // ACK so its window advances.
+                        if state.ingest_survivor_batch(&batch).expect("merge item round-trips") {
+                            batch_wire_bytes += batch.wire_bytes();
+                            batches += 1;
+                        }
+                        ack_txs[shard].send(batch.seq + 1).ok();
+                    }
+                }
+            }
+        } else {
+            let batch = SurvivorBatch::parse(frame).expect("in-memory survivor frame round-trips");
+            batch_wire_bytes += batch.wire_bytes();
+            batches += 1;
+            state.ingest_survivor_batch(&batch).expect("merge item round-trips");
+        }
         merge_events.push((start, epoch.elapsed().as_secs_f64() - start));
     }
+    drop(ack_txs);
     let finish_start = epoch.elapsed().as_secs_f64();
     let output = state.finish();
     let finish_seconds = epoch.elapsed().as_secs_f64() - finish_start;
@@ -437,8 +573,18 @@ impl StreamedExecution for Cluster {
         // Input rounds only where the merge tolerates rows moving between
         // executor runs; HAVING/JOIN take their whole shard slice at once.
         let rounds = if q.merge_routing_agnostic() { spec.rounds.max(1) } else { 1 };
+        let channel_depth =
+            spec.channel_depth.map_or_else(|| ingest.suggested_depth(shards), |d| d.max(1));
 
-        let mut plane = spawn_worker_plane(self, q, shards, batch_size, spec.channel_depth, epoch);
+        let mut plane = spawn_worker_plane(
+            self,
+            q,
+            shards,
+            batch_size,
+            channel_depth,
+            spec.fault.as_ref(),
+            epoch,
+        );
 
         // Router, inline on the calling thread: rounds, dispatch,
         // supervised re-fits. Unit channels are unbounded, so routing
@@ -570,7 +716,10 @@ impl StreamedExecution for Cluster {
             shards,
             rounds,
             batch_size,
-            channel_depth: spec.channel_depth,
+            channel_depth: spec
+                .channel_depth
+                .map_or_else(|| ingest.suggested_depth(shards), |d| d.max(1)),
+            fault: spec.fault.clone(),
             ingest,
             decision,
             plan,
@@ -584,8 +733,15 @@ impl StreamedExecution for Cluster {
     ) -> cheetah_core::Result<StreamedRun> {
         let epoch = Instant::now();
         let shards = layout.shards;
-        let mut plane =
-            spawn_worker_plane(self, q, shards, layout.batch_size, layout.channel_depth, epoch);
+        let mut plane = spawn_worker_plane(
+            self,
+            q,
+            shards,
+            layout.batch_size,
+            layout.channel_depth,
+            layout.fault.as_ref(),
+            epoch,
+        );
         // Dispatch is `Arc` clones of resident slices — no routing, no
         // row movement, no supervisor (a resident layout is fixed by
         // construction, so there is nothing to re-fit mid-run).
@@ -685,6 +841,7 @@ fn assemble(fold: Fold, ctx: AssembleCtx) -> StreamedRun {
         replans,
         // All workers clone one cluster; any report speaks for the run.
         backend: reports.first().map(|r| r.backend).unwrap_or_default(),
+        retransmits: reports.iter().map(|r| r.retransmits).sum(),
         ..ExecBreakdown::default()
     };
     let rules = reports.iter().map(|r| r.rules).max().unwrap_or(0);
@@ -844,7 +1001,7 @@ mod tests {
             layout.decision,
             layout.plan.clone(),
             Some(layout.batch_size),
-            layout.channel_depth,
+            Some(layout.channel_depth),
         );
         assert_eq!(rebuilt.shards(), layout.shards());
         assert_eq!(rebuilt.rounds(), layout.rounds());
@@ -854,7 +1011,8 @@ mod tests {
         assert_eq!(planned.output, assembled.output);
         assert_eq!(planned.output, cluster.run_baseline(&q, &t, None).output);
         assert_eq!(planned.breakdown.entries_to_master, assembled.breakdown.entries_to_master);
-        // Omitting the batch hint falls back to the ingest suggestion.
+        // Omitting the hints falls back to the ingest model: suggested
+        // batch size, NIC-paced channel depth.
         let suggested = StreamLayout::from_units(
             layout.units.clone(),
             None,
@@ -862,10 +1020,21 @@ mod tests {
             layout.decision,
             None,
             None,
-            0,
+            None,
         );
         assert!(suggested.batch_size >= 1);
-        assert_eq!(suggested.channel_depth, 1, "channel depth is clamped to at least 1");
+        assert_eq!(suggested.channel_depth, layout.ingest.suggested_depth(4));
+        // A pinned depth of zero still clamps to a workable channel.
+        let clamped = StreamLayout::from_units(
+            layout.units.clone(),
+            None,
+            layout.ingest,
+            layout.decision,
+            None,
+            None,
+            Some(0),
+        );
+        assert_eq!(clamped.channel_depth, 1, "channel depth is clamped to at least 1");
     }
 
     #[test]
@@ -903,6 +1072,61 @@ mod tests {
                     assert!(resident.replan_events.is_empty());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn harsh_faulty_channel_still_answers_exactly() {
+        // 15% drop + 15% corruption + duplication on every survivor
+        // frame: the §7.2 machinery (go-back-N resends, switch
+        // sequencing, merge-plane dedup) must still deliver the
+        // baseline answer, and the resends must show up in the
+        // breakdown.
+        use crate::config::FaultSpec;
+        let cluster = Cluster::default();
+        let t = table(1_500, 3);
+        let queries = [
+            DbQuery::Distinct { col: 0 },
+            DbQuery::GroupByMax { key_col: 0, val_col: 1 },
+            DbQuery::TopN { order_col: 1, n: 10 },
+        ];
+        for q in queries {
+            let base = cluster.run_baseline(&q, &t, None);
+            let mut spec = StreamSpec::fixed(ShardSpec::new(3, ShardPartitioner::Hash));
+            spec.batch = Some(4); // many small frames → many fault draws
+            spec.fault = Some(FaultSpec::harsh(0xC0FFEE));
+            let run = cluster.run_cheetah_streamed(&q, &t, None, &spec).unwrap();
+            assert_eq!(base.output, run.output, "{} under harsh faults", q.kind());
+            assert!(
+                run.breakdown.retransmits > 0,
+                "{}: a harsh channel must force resends",
+                q.kind()
+            );
+        }
+        // The lossless path keeps its zero.
+        let spec = StreamSpec::fixed(ShardSpec::new(3, ShardPartitioner::Hash));
+        let q = DbQuery::Distinct { col: 0 };
+        let run = cluster.run_cheetah_streamed(&q, &t, None, &spec).unwrap();
+        assert_eq!(run.breakdown.retransmits, 0);
+    }
+
+    #[test]
+    fn faulty_resident_layout_reuses_cleanly() {
+        // plan_stream carries the spec's fault lane into the layout, so
+        // the resident twin replays the same lossy flow per run.
+        use crate::config::FaultSpec;
+        let cluster = Cluster::default();
+        let t = table(1_200, 3);
+        let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+        let mut spec = StreamSpec::fixed(ShardSpec::new(2, ShardPartitioner::Hash));
+        spec.batch = Some(4);
+        spec.fault = Some(FaultSpec::harsh(17));
+        let layout = cluster.plan_stream(&q, &t, None, &spec);
+        let base = cluster.run_baseline(&q, &t, None);
+        for _ in 0..2 {
+            let run = cluster.run_cheetah_streamed_resident(&q, &layout).unwrap();
+            assert_eq!(base.output, run.output);
+            assert!(run.breakdown.retransmits > 0);
         }
     }
 

@@ -568,7 +568,7 @@ fn build_layout(
         *decision,
         plan.as_deref().cloned(),
         None,
-        2,
+        None,
     );
     Ok(LayoutEntry { generation, left_slices, right_slices, layout, decision: *decision, plan })
 }

@@ -56,7 +56,11 @@ fn main() {
     let mut epoch = 0u64;
 
     let cfg = TransferConfig {
-        faults: FaultProfile { drop_prob: drop_pct / 100.0, corrupt_prob: corrupt_pct / 100.0 },
+        faults: FaultProfile {
+            drop_prob: drop_pct / 100.0,
+            corrupt_prob: corrupt_pct / 100.0,
+            ..FaultProfile::lossless()
+        },
         rto_ns: 300_000,
         ..Default::default()
     };

@@ -21,7 +21,7 @@ fn ledger() -> ResourceLedger {
 
 fn lossy(seed: u64) -> TransferConfig {
     TransferConfig {
-        faults: FaultProfile { drop_prob: 0.12, corrupt_prob: 0.06 },
+        faults: FaultProfile { drop_prob: 0.12, corrupt_prob: 0.06, ..FaultProfile::lossless() },
         rto_ns: 250_000,
         seed,
         ..Default::default()
@@ -157,7 +157,7 @@ fn reliability_overhead_is_bounded_under_light_loss() {
     let streams: Vec<Vec<Vec<u64>>> =
         (0..workers).map(|w| (0..per).map(|i| vec![(w as u64) << 32 | i]).collect()).collect();
     let cfg = TransferConfig {
-        faults: FaultProfile { drop_prob: 0.02, corrupt_prob: 0.0 },
+        faults: FaultProfile { drop_prob: 0.02, corrupt_prob: 0.0, ..FaultProfile::lossless() },
         rto_ns: 150_000,
         window: 32,
         ..Default::default()
