@@ -29,7 +29,7 @@ CROSSOVER_BASELINE ?= ci/crossover_baseline.json
 # itself is gated exactly (it may only ever move down).
 CROSSOVER_TOLERANCE ?= 0.35
 
-.PHONY: build test lint docs bench-compile bench-smoke bench-crossover shard-gate planner-gate runtime-gate compiled-gate serving-gate fabric-gate
+.PHONY: build test lint docs bench-compile bench-smoke bench-crossover shard-gate planner-gate runtime-gate compiled-gate serving-gate fabric-gate telemetry-gate
 
 build:
 	cargo build --release
@@ -89,6 +89,15 @@ serving-gate:
 # reported in the breakdown.
 fabric-gate:
 	cargo test -q -p cheetah-db --test fabric_contract
+
+# The named CI gate: telemetry contract — every path x backend through
+# the Session yields a complete lifecycle span tree (admit/queue/plan/
+# choose/execute{worker per shard, merge}/respond), the registry's
+# totals reconcile with SessionStats and the returned ExecBreakdowns,
+# and a traced faulty-channel run attributes its go-back-N resends to
+# the owning registry, equal to the breakdown's count.
+telemetry-gate:
+	cargo test -q -p cheetah-db --test telemetry_contract
 
 # The CI perf-smoke invocation, byte for byte: runs the fixed-seed smoke
 # pass, writes $(SMOKE_OUT), and fails on >$(SMOKE_TOLERANCE) regression

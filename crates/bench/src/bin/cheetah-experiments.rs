@@ -54,13 +54,24 @@
 //!                     the crossover gate (default 0.35 — wall clock on
 //!                     shared CI runners; the crossover shard count
 //!                     itself is gated exactly, no tolerance)
+//!   --trace           run one traced sample query through the Session
+//!                     front door and pretty-print its lifecycle span
+//!                     tree (admit → queue → plan → choose → execute
+//!                     {worker per shard, merge} → respond), followed by
+//!                     the JSON-lines export and the session registry
+//!                     snapshot; `--smoke-seed` seeds the table
 //! ```
 
 use cheetah_bench::crossover::{run_crossover_default, CrossoverReport};
 use cheetah_bench::experiments;
 use cheetah_bench::smoke::{run_smoke, SmokeReport};
 use cheetah_bench::{RunCtx, Scale};
+use cheetah_db::DbQuery;
+use cheetah_serve::{QueryRequest, Session};
+use cheetah_telemetry::{export_jsonl, render};
+use cheetah_workloads::SkewedTableConfig;
 use std::io::Write;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -79,6 +90,7 @@ fn main() {
     let mut crossover_json: Option<String> = None;
     let mut crossover_baseline: Option<String> = None;
     let mut crossover_tolerance = 0.35f64;
+    let mut trace_mode = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut i = 0;
     let value_of = |args: &[String], i: usize, flag: &str| -> String {
@@ -197,6 +209,7 @@ fn main() {
                 }
                 crossover_tolerance = parsed;
             }
+            "--trace" => trace_mode = true,
             "--smoke-seed" => {
                 i += 1;
                 smoke_seed = value_of(&args, i, "--smoke-seed").parse().unwrap_or_else(|_| {
@@ -220,6 +233,7 @@ fn main() {
                     "       cheetah-experiments --crossover-json PATH \
                      [--crossover-baseline PATH] [--crossover-tolerance FRAC] [--smoke-seed N]"
                 );
+                println!("       cheetah-experiments --trace [--smoke-seed N]");
                 println!("experiments:");
                 for (id, _) in experiments::all() {
                     println!("  {id}");
@@ -231,6 +245,10 @@ fn main() {
         i += 1;
     }
 
+    if trace_mode {
+        run_trace_mode(smoke_seed);
+        return;
+    }
     if let Some(path) = smoke_json {
         run_smoke_mode(
             &path,
@@ -285,6 +303,37 @@ fn main() {
         }
         eprintln!("{id} done in {:.1}s", t0.elapsed().as_secs_f64());
     }
+}
+
+/// The `--trace` demo: push one query through the `Session` front door
+/// and show all three faces of its telemetry — the pretty-printed
+/// lifecycle span tree, the JSON-lines export, and the registry
+/// snapshot the same request fed.
+fn run_trace_mode(seed: u64) {
+    let table = Arc::new(
+        SkewedTableConfig {
+            rows: 6_000,
+            partitions: 4,
+            partition_skew: 0.6,
+            keys: 200,
+            key_skew: 1.0,
+            seed,
+        }
+        .build(),
+    );
+    let session = Session::with_defaults();
+    let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+    let resp = session
+        .run_blocking(QueryRequest::new(q, table).tenant("demo").shards(4))
+        .expect("plan fits");
+    let tree = resp.trace.expect("the session traces every request");
+    println!("lifecycle span tree (arm {}):", resp.arm.label());
+    println!("{}", render(&tree));
+    println!("spans as JSON lines:");
+    print!("{}", export_jsonl(&tree, false));
+    println!();
+    println!("session registry after the request:");
+    print!("{}", session.registry().snapshot().render());
 }
 
 /// The CI perf-smoke path: measure, write JSON, optionally gate against a

@@ -27,6 +27,7 @@ use crate::workload::ServingWorkload;
 use crate::{Report, RunCtx, Scale};
 use cheetah_db::{Cluster, DbPredicate, DbQuery, IntCmp, QueryOutput, Table};
 use cheetah_serve::{QueryRequest, Session, SessionConfig, SessionStats};
+use cheetah_telemetry::Histogram;
 use cheetah_workloads::SkewedTableConfig;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -103,40 +104,43 @@ fn baselines(
         .collect()
 }
 
-/// `q`-th percentile of an unsorted latency sample (nearest rank).
-fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
-}
-
-/// One tenant's measurements from one phase.
+/// One tenant's measurements from one phase. Latency and queue-time
+/// samples go straight into telemetry histograms — the report's p50/p99
+/// are histogram-snapshot quantiles, the same summaries the session
+/// registry exports (the `percentiles_agree_*` test below pins the two
+/// paths to within one sub-bucket of each other).
 struct TenantOutcome {
     tenant: String,
-    latencies: Vec<f64>,
-    queue: Vec<f64>,
+    latency: Histogram,
+    queue: Histogram,
     mismatches: usize,
     shed: usize,
 }
 
 impl TenantOutcome {
+    fn new(tenant: impl Into<String>) -> Self {
+        TenantOutcome {
+            tenant: tenant.into(),
+            latency: Histogram::default(),
+            queue: Histogram::default(),
+            mismatches: 0,
+            shed: 0,
+        }
+    }
+
+    fn requests(&self) -> u64 {
+        self.latency.count()
+    }
+
     fn row(&self, phase: &str) -> Vec<String> {
-        let mean_queue = if self.queue.is_empty() {
-            0.0
-        } else {
-            self.queue.iter().sum::<f64>() / self.queue.len() as f64
-        };
+        let lat = self.latency.snapshot();
         vec![
             phase.to_string(),
             self.tenant.clone(),
-            self.latencies.len().to_string(),
-            secs(percentile(&self.latencies, 0.50)),
-            secs(percentile(&self.latencies, 0.99)),
-            secs(mean_queue),
+            lat.count.to_string(),
+            secs(lat.p50),
+            secs(lat.p99),
+            secs(self.queue.mean().unwrap_or(0.0)),
             if self.mismatches == 0 {
                 "identical".into()
             } else {
@@ -164,13 +168,7 @@ fn run_closed(
             .enumerate()
             .map(|(t_idx, spec)| {
                 s.spawn(move || {
-                    let mut out = TenantOutcome {
-                        tenant: spec.name.clone(),
-                        latencies: Vec::with_capacity(spec.requests),
-                        queue: Vec::with_capacity(spec.requests),
-                        mismatches: 0,
-                        shed: 0,
-                    };
+                    let mut out = TenantOutcome::new(spec.name.clone());
                     for r in 0..spec.requests {
                         let q_idx = w.query_index(t_idx, r);
                         let req = request(&w.queries[q_idx], left, right, &spec.name);
@@ -180,8 +178,8 @@ fn run_closed(
                             .expect("closed loop stays under capacity")
                             .wait()
                             .expect("admitted requests complete");
-                        out.latencies.push(start.elapsed().as_secs_f64());
-                        out.queue.push(resp.breakdown.queue_seconds);
+                        out.latency.observe(start.elapsed().as_secs_f64());
+                        out.queue.observe(resp.breakdown.queue_seconds);
                         if resp.output != truth[q_idx] {
                             out.mismatches += 1;
                         }
@@ -230,28 +228,27 @@ fn run_open(
                     shed
                 });
                 let redeemer = s.spawn(move || {
-                    let mut latencies = Vec::new();
-                    let mut queue = Vec::new();
-                    let mut mismatches = 0usize;
+                    let mut out = TenantOutcome::new(spec.name.clone());
                     for (q_idx, due, ticket) in rx {
                         let resp = ticket.wait().expect("admitted requests complete");
-                        latencies.push((t0.elapsed().as_secs_f64() - due).max(0.0));
-                        queue.push(resp.breakdown.queue_seconds);
+                        out.latency.observe((t0.elapsed().as_secs_f64() - due).max(0.0));
+                        out.queue.observe(resp.breakdown.queue_seconds);
                         if resp.output != truth[q_idx] {
-                            mismatches += 1;
+                            out.mismatches += 1;
                         }
                     }
-                    (latencies, queue, mismatches)
+                    out
                 });
-                (spec.name.clone(), submitter, redeemer)
+                (submitter, redeemer)
             })
             .collect();
         handles
             .into_iter()
-            .map(|(tenant, submitter, redeemer)| {
+            .map(|(submitter, redeemer)| {
                 let shed = submitter.join().expect("submitter thread");
-                let (latencies, queue, mismatches) = redeemer.join().expect("redeemer thread");
-                TenantOutcome { tenant, latencies, queue, mismatches, shed }
+                let mut out = redeemer.join().expect("redeemer thread");
+                out.shed = shed;
+                out
             })
             .collect()
     })
@@ -274,7 +271,7 @@ impl FloodOutcome {
 
     /// p99 over fair share — the acceptance criterion bounds this at 5.
     fn fairness_ratio(&self) -> f64 {
-        percentile(&self.light.latencies, 0.99) / self.fair_share().max(1e-12)
+        self.light.latency.snapshot().p99 / self.fair_share().max(1e-12)
     }
 }
 
@@ -324,13 +321,7 @@ fn run_flood(
             served
         });
         let light = s.spawn(|| {
-            let mut out = TenantOutcome {
-                tenant: "light (flooded)".into(),
-                latencies: Vec::with_capacity(light_reqs),
-                queue: Vec::with_capacity(light_reqs),
-                mismatches: 0,
-                shed: 0,
-            };
+            let out = TenantOutcome::new("light (flooded)");
             for _ in 0..light_reqs {
                 let start = Instant::now();
                 let resp = session
@@ -338,8 +329,8 @@ fn run_flood(
                     .expect("light stays under capacity")
                     .wait()
                     .expect("light requests complete");
-                out.latencies.push(start.elapsed().as_secs_f64());
-                out.queue.push(resp.breakdown.queue_seconds);
+                out.latency.observe(start.elapsed().as_secs_f64());
+                out.queue.observe(resp.breakdown.queue_seconds);
             }
             stop.store(true, Ordering::Relaxed);
             out
@@ -416,7 +407,7 @@ pub fn run(ctx: &RunCtx) -> Vec<Report> {
         report.row(t.row("open"));
     }
 
-    let total: usize = r.closed.iter().map(|t| t.latencies.len()).sum();
+    let total: u64 = r.closed.iter().map(|t| t.requests()).sum();
     report.note(format!(
         "closed: {total} requests in {} ({:.0} req/s); plan-cache hit rate {} \
          ({} hits / {} misses; criterion > 90%)",
@@ -429,7 +420,7 @@ pub fn run(ctx: &RunCtx) -> Vec<Report> {
     report.note(format!(
         "flood: light p99 {} vs fair-share expectation {} (2x solo mean {}) — \
          ratio {:.2}, criterion <= 5; flooding co-tenant served {} meanwhile",
-        secs(percentile(&r.flood.light.latencies, 0.99)),
+        secs(r.flood.light.latency.snapshot().p99),
         secs(r.flood.fair_share()),
         secs(r.flood.solo_mean),
         r.flood.fairness_ratio(),
@@ -462,7 +453,7 @@ mod tests {
         let (outcomes, _) = run_closed(&session, &w, &left, &right, &truth);
         for t in &outcomes {
             assert_eq!(t.mismatches, 0, "tenant {} diverged from the baseline", t.tenant);
-            assert_eq!(t.latencies.len(), 30);
+            assert_eq!(t.requests(), 30);
         }
         let stats = session.stats();
         assert_eq!(stats.completed, 120);
@@ -490,7 +481,7 @@ mod tests {
             }
             failures.push(format!(
                 "light p99 {} vs fair share {} (ratio {:.2})",
-                secs(percentile(&f.light.latencies, 0.99)),
+                secs(f.light.latency.snapshot().p99),
                 secs(f.fair_share()),
                 f.fairness_ratio(),
             ));
@@ -508,8 +499,57 @@ mod tests {
         }
         assert_eq!(r.closed.len(), TENANTS.len());
         assert_eq!(r.open.len(), TENANTS.len());
-        let open_served: usize = r.open.iter().map(|t| t.latencies.len() + t.shed).sum();
+        let open_served: usize = r.open.iter().map(|t| t.requests() as usize + t.shed).sum();
         assert_eq!(open_served, TENANTS.len() * 8, "every scheduled arrival accounted for");
         assert!(r.flood.solo_mean > 0.0);
+    }
+
+    /// `q`-th percentile of an unsorted sample — the hand-rolled
+    /// rank-order path the report used before the switch to histogram
+    /// quantiles, kept only to pin its replacement. Nearest rank
+    /// `ceil(q*n)`, the same rule the histogram's bucket walk applies,
+    /// so the agreement bound below is exact rather than off-by-one.
+    fn percentile(samples: &[f64], q: f64) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// The agreement contract that let the report switch from exact
+    /// rank-order percentiles to histogram quantiles: on a deterministic
+    /// latency-shaped sample (three decades, heavy tail), the snapshot's
+    /// p50/p99 must sit within one log-bucket of the exact ranks — an
+    /// upper bound no more than `2^(1/8)` (~9%) above them.
+    #[test]
+    fn percentiles_agree_with_the_exact_ranks_they_replaced() {
+        let mut samples = Vec::new();
+        let mut x = 0x5E21u64;
+        for _ in 0..4_000 {
+            x = cheetah_switch::hash::mix64(x);
+            // 100us..1s, log-uniform-ish with a deterministic heavy tail.
+            let u = (x % 10_000) as f64 / 10_000.0;
+            samples.push(1e-4 * 10f64.powf(4.0 * u.powi(2)));
+        }
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.observe(s);
+        }
+        let snap = hist.snapshot();
+        let one_bucket = 2f64.powf(1.0 / cheetah_telemetry::HIST_SUB_BUCKETS as f64);
+        for (q, got) in [(0.50, snap.p50), (0.99, snap.p99)] {
+            let exact = percentile(&samples, q);
+            assert!(
+                got >= exact * (1.0 - 1e-9) && got <= exact * one_bucket * (1.0 + 1e-9),
+                "p{:.0}: histogram {got} vs exact {exact} — outside one sub-bucket",
+                q * 100.0
+            );
+        }
+        assert_eq!(snap.count, samples.len() as u64);
+        let exact_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((snap.mean() - exact_mean).abs() < 1e-12, "mean is exact, not bucketed");
     }
 }

@@ -26,8 +26,9 @@ use cheetah_db::{
     IntCmp, PlanDecision, ShardPlanner, ShardSpec, Table,
 };
 use cheetah_net::ENTRY_WIRE_BYTES;
-use cheetah_runtime::{PooledExecution, StreamSpec, StreamedExecution};
+use cheetah_runtime::{FaultSpec, PooledExecution, StreamSpec, StreamedExecution};
 use cheetah_serve::{QueryRequest, Session, SessionConfig};
+use cheetah_telemetry::{Registry, Trace};
 use cheetah_workloads::SkewedTableConfig;
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,6 +49,26 @@ pub struct SmokeFamily {
     pub entries_to_master: u64,
 }
 
+/// Cross-cutting observability numbers one smoke pass produces, read
+/// from the telemetry plane rather than ad-hoc counters: the serving
+/// burst's queue p99 out of the session registry, a deterministic
+/// plan-cache hit rate, and the go-back-N resend count of a seeded
+/// faulty-channel run. Informational (never gated — queue time is
+/// wall clock on a shared runner) and absent from baselines written
+/// before the telemetry plane existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmokeTelemetry {
+    /// p99 of `serve.queue_seconds` over the burst session's registry.
+    pub queue_p99_seconds: f64,
+    /// Plan-cache hit rate of a fixed four-request planner-path quartet
+    /// (one shape, repeated: 1 miss + 3 hits = 0.75, deterministic).
+    pub plan_cache_hit_rate: f64,
+    /// `net.retransmits` a harsh seeded faulty channel attributed to the
+    /// tracing registry (equals the run breakdown's count by the
+    /// telemetry contract gate).
+    pub retransmits: u64,
+}
+
 /// The whole smoke report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SmokeReport {
@@ -57,6 +78,9 @@ pub struct SmokeReport {
     pub rows: usize,
     /// Per-family metrics.
     pub families: Vec<SmokeFamily>,
+    /// Observability block (`None` when parsed from a pre-telemetry
+    /// baseline).
+    pub telemetry: Option<SmokeTelemetry>,
 }
 
 /// Shard count of the sharded smoke runs.
@@ -288,6 +312,7 @@ pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
         }));
     }
 
+    let telemetry;
     // The serving-plane row: a four-tenant closed-loop burst pushed
     // through the `Session` front door. Every request is pinned to the
     // interpreted barrier pool at [`SMOKE_SHARDS`] — pinned requests skip
@@ -331,9 +356,45 @@ pub fn run_smoke(seed: u64, rows: usize, reps: usize) -> SmokeReport {
             });
             counters
         }));
+
+        // The observability block, read from the telemetry plane the
+        // burst just exercised. The pinned burst bypasses the plan
+        // cache, so a fixed planner-path quartet (one shape, repeated)
+        // supplies a deterministic hit rate: 1 miss + 3 hits.
+        for _ in 0..4 {
+            session
+                .run_blocking(
+                    QueryRequest::new(q.clone(), Arc::clone(&serving_left)).tenant("alpha"),
+                )
+                .expect("plan fits");
+        }
+        let queue_p99_seconds = session
+            .registry()
+            .snapshot()
+            .histograms
+            .get("serve.queue_seconds")
+            .map_or(0.0, |h| h.p99);
+        let plan_cache_hit_rate = session.stats().plan_hit_rate();
+
+        // One harsh seeded faulty-channel run, traced so the fabric's
+        // recovery work lands in a registry we can read back.
+        let registry = Registry::new();
+        let trace = Trace::new(registry.clone());
+        let root = trace.span("query");
+        {
+            let _g = root.enter();
+            let mut fspec = StreamSpec::fixed(ShardSpec::new(SMOKE_SHARDS, ShardPartitioner::Hash));
+            fspec.batch = Some(4);
+            fspec.fault = Some(FaultSpec::harsh(seed));
+            cluster.run_cheetah_streamed(&q, &left, None, &fspec).expect("plan fits");
+        }
+        root.finish();
+        let retransmits = registry.snapshot().counters.get("net.retransmits").copied().unwrap_or(0);
+
+        telemetry = Some(SmokeTelemetry { queue_p99_seconds, plan_cache_hit_rate, retransmits });
     }
 
-    SmokeReport { seed, rows, families }
+    SmokeReport { seed, rows, families, telemetry }
 }
 
 impl SmokeReport {
@@ -353,7 +414,17 @@ impl SmokeReport {
                 f.name, f.backend, f.ops_per_sec, f.bytes_pruned, f.entries_to_master
             ));
         }
-        out.push_str("  ]\n}\n");
+        match &self.telemetry {
+            Some(t) => {
+                out.push_str("  ],\n");
+                out.push_str(&format!(
+                    "  \"telemetry\": {{\"queue_p99_seconds\": {:.9}, \"plan_cache_hit_rate\": {:.6}, \"retransmits\": {}}}\n",
+                    t.queue_p99_seconds, t.plan_cache_hit_rate, t.retransmits
+                ));
+                out.push_str("}\n");
+            }
+            None => out.push_str("  ]\n}\n"),
+        }
         out
     }
 
@@ -376,12 +447,27 @@ impl SmokeReport {
         let mut seed = None;
         let mut rows = None;
         let mut families = Vec::new();
+        let mut telemetry = None;
         for line in s.lines() {
             if seed.is_none() {
                 seed = num_field(line, "seed").map(|v| v as u64);
             }
             if rows.is_none() {
                 rows = num_field(line, "rows").map(|v| v as usize);
+            }
+            // Optional: baselines written before the telemetry plane
+            // simply lack the block.
+            if line.contains("\"telemetry\"") {
+                telemetry = Some(SmokeTelemetry {
+                    queue_p99_seconds: num_field(line, "queue_p99_seconds")
+                        .ok_or("telemetry block: missing queue_p99_seconds")?,
+                    plan_cache_hit_rate: num_field(line, "plan_cache_hit_rate")
+                        .ok_or("telemetry block: missing plan_cache_hit_rate")?,
+                    retransmits: num_field(line, "retransmits")
+                        .ok_or("telemetry block: missing retransmits")?
+                        as u64,
+                });
+                continue;
             }
             if let Some(name) = str_field(line, "name") {
                 let ops = num_field(line, "ops_per_sec")
@@ -409,6 +495,7 @@ impl SmokeReport {
             seed: seed.ok_or("missing seed")?,
             rows: rows.ok_or("missing rows")?,
             families,
+            telemetry,
         })
     }
 
@@ -739,6 +826,31 @@ mod tests {
         let legacy = legacy.collect::<Vec<_>>().join("\n");
         let parsed = SmokeReport::parse_json(&legacy).expect("legacy baseline parses");
         assert!(parsed.families.iter().all(|f| f.backend == "interp"));
+    }
+
+    #[test]
+    fn telemetry_block_round_trips_and_tolerates_absence() {
+        let r = run_smoke(9, 1_000, 1);
+        let t = r.telemetry.as_ref().expect("smoke pass emits a telemetry block");
+        assert_eq!(t.plan_cache_hit_rate, 0.75, "1 miss + 3 hits, deterministic");
+        assert!(t.retransmits > 0, "the harsh seeded channel must force resends");
+        assert!(t.queue_p99_seconds >= 0.0);
+        let parsed = SmokeReport::parse_json(&r.to_json()).expect("parse back");
+        let pt = parsed.telemetry.expect("block survives the round trip");
+        assert_eq!(pt.retransmits, t.retransmits);
+        assert_eq!(pt.plan_cache_hit_rate, t.plan_cache_hit_rate);
+        assert!((pt.queue_p99_seconds - t.queue_p99_seconds).abs() < 1e-8);
+        // A pre-telemetry baseline (no block) still parses, to None —
+        // CI's checked-in baseline predates the plane.
+        let stripped: String = r
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("\"telemetry\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("  ],", "  ]");
+        let parsed = SmokeReport::parse_json(&stripped).expect("pre-telemetry baseline parses");
+        assert!(parsed.telemetry.is_none());
     }
 
     #[test]

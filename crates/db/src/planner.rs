@@ -437,16 +437,26 @@ impl ChooserArm {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+/// Per-arm cost accounting, backed by a telemetry histogram so every
+/// observation the bandit makes is *also* an exported metric
+/// (`…<arm>.cost_seconds` in the owning registry's snapshot).
+///
+/// Histograms keep an exact `sum`/`count` beside their buckets, so the
+/// mean the bandit decides on is bit-identical to the private
+/// `total_cost / plays` bookkeeping this replaced.
+#[derive(Debug, Clone)]
 struct ArmState {
     arm: ChooserArm,
-    plays: u64,
-    total_cost: f64,
+    cost: cheetah_telemetry::Histogram,
 }
 
 impl ArmState {
+    fn plays(&self) -> u64 {
+        self.cost.count()
+    }
+
     fn mean(&self) -> f64 {
-        self.total_cost / self.plays.max(1) as f64
+        self.cost.mean().unwrap_or(0.0)
     }
 }
 
@@ -499,10 +509,26 @@ impl PathChooser {
         },
     ];
 
-    /// A chooser costing completions over `link_gbps` links.
+    /// A chooser costing completions over `link_gbps` links, recording
+    /// arm costs into a private registry.
     pub fn new(link_gbps: f64) -> Self {
+        Self::with_registry(link_gbps, &cheetah_telemetry::Registry::new(), "chooser")
+    }
+
+    /// A chooser whose arm-cost histograms live in `registry` under
+    /// `<scope>.<arm>.cost_seconds` — the serving plane passes its
+    /// session registry here so every bandit observation shows up in
+    /// telemetry snapshots.
+    pub fn with_registry(
+        link_gbps: f64,
+        registry: &cheetah_telemetry::Registry,
+        scope: &str,
+    ) -> Self {
         Self {
-            arms: Self::ARMS.map(|arm| ArmState { arm, plays: 0, total_cost: 0.0 }),
+            arms: Self::ARMS.map(|arm| ArmState {
+                arm,
+                cost: registry.histogram(&format!("{scope}.{}.cost_seconds", arm.label())),
+            }),
             link_gbps,
             // Softer than the textbook √2: with the bonus rescaled to
             // the observed cost floor, √2 would spend tens of pulls per
@@ -516,12 +542,12 @@ impl PathChooser {
 
     /// Total observations across all arms.
     pub fn plays(&self) -> u64 {
-        self.arms.iter().map(|a| a.plays).sum()
+        self.arms.iter().map(ArmState::plays).sum()
     }
 
     /// The arm to play next: each arm once, then lowest confidence bound.
     pub fn next(&self) -> ChooserArm {
-        if let Some(unplayed) = self.arms.iter().find(|a| a.plays == 0) {
+        if let Some(unplayed) = self.arms.iter().find(|a| a.plays() == 0) {
             return unplayed.arm;
         }
         let n = self.plays() as f64;
@@ -536,7 +562,7 @@ impl PathChooser {
         self.arms
             .iter()
             .map(|a| {
-                (a.arm, a.mean() - self.explore * scale * (2.0 * n.ln() / a.plays as f64).sqrt())
+                (a.arm, a.mean() - self.explore * scale * (2.0 * n.ln() / a.plays() as f64).sqrt())
             })
             .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite costs"))
             .map(|(arm, _)| arm)
@@ -545,7 +571,7 @@ impl PathChooser {
 
     /// How many times `arm` has been played.
     pub fn plays_of(&self, arm: ChooserArm) -> u64 {
-        self.arms.iter().find(|a| a.arm == arm).map_or(0, |a| a.plays)
+        self.arms.iter().find(|a| a.arm == arm).map_or(0, ArmState::plays)
     }
 
     /// Record what one run of `arm` cost, and remember its measured
@@ -554,8 +580,7 @@ impl PathChooser {
         let cost = breakdown.completion_seconds(self.link_gbps);
         let state =
             self.arms.iter_mut().find(|a| a.arm == arm).expect("observed arm is one of the four");
-        state.plays += 1;
-        state.total_cost += cost;
+        state.cost.observe(cost);
         self.measured_survivors = Some(breakdown.entries_to_master);
     }
 
@@ -565,7 +590,7 @@ impl PathChooser {
     pub fn best(&self) -> ChooserArm {
         self.arms
             .iter()
-            .filter(|a| a.plays > 0)
+            .filter(|a| a.plays() > 0)
             .min_by(|a, b| a.mean().partial_cmp(&b.mean()).expect("finite costs"))
             .map(|a| a.arm)
             .unwrap_or(Self::ARMS[0])
@@ -573,13 +598,13 @@ impl PathChooser {
 
     /// Observed mean completion cost of `arm`, if it has been played.
     pub fn mean_cost(&self, arm: ChooserArm) -> Option<f64> {
-        self.arms.iter().find(|a| a.arm == arm && a.plays > 0).map(ArmState::mean)
+        self.arms.iter().find(|a| a.arm == arm && a.plays() > 0).map(ArmState::mean)
     }
 
     /// Total cost paid across every observation — the numerator of a
     /// cumulative-regret comparison against any fixed strategy.
     pub fn cumulative_cost(&self) -> f64 {
-        self.arms.iter().map(|a| a.total_cost).sum()
+        self.arms.iter().map(|a| a.cost.sum()).sum()
     }
 
     /// The latest measured `entries_to_master`, once any run was observed.

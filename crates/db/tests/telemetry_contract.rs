@@ -1,0 +1,204 @@
+//! Telemetry contract gate: observability must be *complete* and
+//! *reconciled*, not decorative.
+//!
+//! 1. **Complete span trees** — every (path × backend) combination
+//!    through the session yields an exportable lifecycle tree with no
+//!    orphan or unclosed spans: `query` → {`admit`, `queue`, `plan`,
+//!    `choose`, `execute` → {one `worker` per shard, `merge`},
+//!    `respond`}.
+//! 2. **Registry ⇄ breakdown reconciliation** — the session registry's
+//!    totals agree with [`SessionStats`] and with the
+//!    [`ExecBreakdown`]s the same requests returned: completed counts,
+//!    plan-cache hits/misses, queue times, per-shard survivor entries.
+//! 3. **Fabric attribution** — a traced faulty-channel run lands its
+//!    go-back-N resend count in the owning registry's
+//!    `net.retransmits`, equal to the breakdown's field.
+
+mod common;
+
+use cheetah_db::{Cluster, DbQuery, ExecBackend, ExecPath, ShardSpec, Table};
+use cheetah_runtime::{FaultSpec, StreamSpec, StreamedExecution};
+use cheetah_serve::{QueryRequest, Session};
+use cheetah_telemetry::{Registry, Trace, TraceTree};
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+
+fn fixture(seed: u64) -> Arc<Table> {
+    Arc::new(common::gen_table(3_000, 90, 4, seed))
+}
+
+/// Every span name on the root's direct child list, in exported order.
+fn child_names(tree: &TraceTree) -> Vec<&str> {
+    tree.root.children.iter().map(|c| c.name.as_str()).collect()
+}
+
+#[test]
+fn every_path_backend_combination_yields_a_complete_span_tree() {
+    let t = fixture(0x7E1E);
+    let session = Session::with_defaults();
+    for path in [ExecPath::BarrierPooled, ExecPath::StreamedResident] {
+        for backend in [ExecBackend::Interpreted, ExecBackend::Compiled] {
+            let resp = session
+                .run_blocking(
+                    QueryRequest::new(DbQuery::Distinct { col: 0 }, Arc::clone(&t))
+                        .tenant("contract")
+                        .path(path)
+                        .backend(backend)
+                        .shards(SHARDS),
+                )
+                .unwrap();
+            let label = format!("{}/{}", path.label(), backend.label());
+            let tree = resp
+                .trace
+                .as_ref()
+                .unwrap_or_else(|| panic!("{label}: response carries no exported trace"));
+
+            // The lifecycle children, all present under the one root.
+            assert_eq!(tree.root.name, "query", "{label}");
+            assert_eq!(tree.root.attr("tenant"), Some("contract"), "{label}");
+            for required in ["admit", "queue", "plan", "choose", "execute", "respond"] {
+                assert!(
+                    child_names(tree).contains(&required),
+                    "{label}: missing `{required}` child; got {:?}",
+                    child_names(tree)
+                );
+            }
+            let exec = tree.root.find("execute").expect("checked above");
+            assert_eq!(exec.attr("path"), Some(path.label()), "{label}");
+            assert_eq!(exec.attr("backend"), Some(backend.label()), "{label}");
+
+            // One worker span per shard, deterministically ordered, and
+            // a merge span closing the fan-in.
+            let mut workers = Vec::new();
+            exec.find_all("worker", &mut workers);
+            assert_eq!(workers.len(), SHARDS, "{label}: one worker span per shard");
+            for (i, w) in workers.iter().enumerate() {
+                assert_eq!(w.attr("shard"), Some(i.to_string().as_str()), "{label}");
+            }
+            assert!(exec.find("merge").is_some(), "{label}: missing merge span");
+
+            // The per-shard survivor counts the workers traced must sum
+            // to exactly what the breakdown reports: the breakdown is a
+            // view over the span tree, not a parallel ledger.
+            let traced: u64 = workers
+                .iter()
+                .map(|w| w.attr("entries_to_master").unwrap().parse::<u64>().unwrap())
+                .sum();
+            assert_eq!(traced, resp.breakdown.entries_to_master, "{label}");
+
+            // The breakdown's queue time is the queue span's clock.
+            let queue = tree.root.find("queue").expect("checked above");
+            assert!(
+                (queue.duration_s() - resp.breakdown.queue_seconds).abs() < 1e-3,
+                "{label}: queue span {:.6}s vs breakdown {:.6}s",
+                queue.duration_s(),
+                resp.breakdown.queue_seconds
+            );
+        }
+    }
+    // All four trees were retained by the ring-buffer sink.
+    assert_eq!(session.traces().len(), 4);
+    assert_eq!(session.traces().pushed(), 4);
+}
+
+#[test]
+fn planner_path_traces_cache_misses_then_hits_and_registry_reconciles() {
+    let t = fixture(0xCAFE);
+    let session = Session::with_defaults();
+    let q = DbQuery::GroupByMax { key_col: 0, val_col: 1 };
+    let first =
+        session.run_blocking(QueryRequest::new(q.clone(), Arc::clone(&t)).tenant("alpha")).unwrap();
+    let plan = first.trace.as_ref().unwrap().root.find("plan").unwrap();
+    assert_eq!(plan.attr("cache"), Some("miss"));
+    for _ in 0..3 {
+        let resp = session
+            .run_blocking(QueryRequest::new(q.clone(), Arc::clone(&t)).tenant("beta"))
+            .unwrap();
+        let plan = resp.trace.as_ref().unwrap().root.find("plan").unwrap();
+        assert_eq!(plan.attr("cache"), Some("hit"));
+    }
+
+    // Registry totals must reconcile with the session's own stats.
+    let stats = session.stats();
+    let snap = session.registry().snapshot();
+    assert_eq!(snap.counters["serve.queries"], stats.completed);
+    assert_eq!(snap.counters["serve.plan_cache.hits"], stats.plan_hits);
+    assert_eq!(snap.counters["serve.plan_cache.misses"], stats.plan_misses);
+    assert_eq!(stats.plan_misses, 1);
+    assert_eq!(stats.plan_hits, 3);
+
+    // Every executed request observed exactly one queue and one latency
+    // sample, globally and per tenant.
+    assert_eq!(snap.histograms["serve.queue_seconds"].count, stats.completed);
+    assert_eq!(snap.histograms["serve.latency_seconds"].count, stats.completed);
+    assert_eq!(snap.histograms["serve.tenant.alpha.latency_seconds"].count, 1);
+    assert_eq!(snap.histograms["serve.tenant.beta.latency_seconds"].count, 3);
+
+    // The bandit's arm costs are registry histograms now: the observed
+    // play count is the metric's count.
+    let chooser_plays: u64 = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("serve.chooser.") && name.ends_with(".cost_seconds"))
+        .map(|(_, h)| h.count)
+        .sum();
+    assert_eq!(chooser_plays, stats.completed, "every run feeds the bandit exactly once");
+
+    // Nothing in flight when idle.
+    assert_eq!(snap.gauges["serve.queue_depth"], 0);
+    assert_eq!(snap.gauges["serve.executing"], 0);
+}
+
+#[test]
+fn faulty_channel_retransmits_attribute_to_the_tracing_registry() {
+    let cluster = Cluster::default();
+    let t = common::gen_table(1_500, 60, 3, 0xBAD);
+    let q = DbQuery::Distinct { col: 0 };
+    let mut spec = StreamSpec::fixed(ShardSpec::new(3, cheetah_core::ShardPartitioner::Hash));
+    spec.batch = Some(4); // many small frames → many fault draws
+    spec.fault = Some(FaultSpec::harsh(0xC0FFEE));
+
+    let registry = Registry::new();
+    let trace = Trace::new(registry.clone());
+    let root = trace.span("query");
+    let run = {
+        let _g = root.enter();
+        cluster.run_cheetah_streamed(&q, &t, None, &spec).unwrap()
+    };
+    root.finish();
+    assert!(run.breakdown.retransmits > 0, "harsh channel must force resends");
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counters["net.retransmits"], run.breakdown.retransmits,
+        "registry counter must equal the breakdown's retransmit total"
+    );
+    // The trace carries worker spans with stream children for each flow.
+    let tree = trace.export().unwrap();
+    let mut streams = Vec::new();
+    tree.root.find_all("stream", &mut streams);
+    assert_eq!(streams.len(), 3, "one stream span per shard flow");
+    let traced: u64 =
+        streams.iter().map(|s| s.attr("retransmits").unwrap().parse::<u64>().unwrap()).sum();
+    assert_eq!(traced, run.breakdown.retransmits);
+}
+
+#[test]
+fn lossless_runs_trace_no_stream_spans_and_zero_retransmits() {
+    let t = fixture(0x11CE);
+    let session = Session::with_defaults();
+    let resp = session
+        .run_blocking(
+            QueryRequest::new(DbQuery::Distinct { col: 0 }, Arc::clone(&t))
+                .path(ExecPath::StreamedResident)
+                .shards(SHARDS),
+        )
+        .unwrap();
+    let tree = resp.trace.as_ref().unwrap();
+    let mut streams = Vec::new();
+    tree.root.find_all("stream", &mut streams);
+    assert!(streams.is_empty(), "lossless channels must not fabricate stream spans");
+    assert_eq!(resp.breakdown.retransmits, 0);
+    let snap = session.registry().snapshot();
+    assert!(!snap.counters.contains_key("net.retransmits"));
+}

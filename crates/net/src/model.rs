@@ -97,6 +97,14 @@ impl ExecBackend {
 }
 
 /// Phase timings and transfer volumes of one execution.
+///
+/// For a request served through a tracing session this is a *scalar
+/// view over the lifecycle span tree*, not an independent ledger: the
+/// telemetry contract gate pins `queue_seconds` to the `queue` span's
+/// clock, `entries_to_master` to the sum of the `worker` spans'
+/// `entries_to_master` attributes, and `retransmits` to the registry's
+/// `net.retransmits` counter. Direct (non-session) runs fill the same
+/// fields from the same measurement seams, just without the spans.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecBreakdown {
     /// Slowest worker's compute/serialize time (workers run in parallel).
@@ -138,8 +146,9 @@ pub struct ExecBreakdown {
     /// is what *actually* executed, not what was requested.
     pub backend: ExecBackend,
     /// Wall time the request waited in a serving session's admission
-    /// queue before a driver started executing it. Zero for direct
-    /// (non-session) runs, so serving latency decomposes as
+    /// queue before a driver started executing it — read from the
+    /// lifecycle trace's `queue` span, which *is* the queue clock. Zero
+    /// for direct (non-session) runs, so serving latency decomposes as
     /// queue → worker → network → master.
     pub queue_seconds: f64,
     /// Tenant id of the serving-session request that produced this run.

@@ -35,6 +35,7 @@ use cheetah_db::{
     ShardSpec, ShardedRun, Sharder, Table,
 };
 use cheetah_net::FrameBuilder;
+use cheetah_telemetry::SpanContext;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -273,6 +274,11 @@ impl PooledExecution for Cluster {
 
         // Jobs must be 'static: each takes an `Arc` handle onto its slice
         // plus a clone of the (configuration-only, cheap) cluster and query.
+        // The submitting thread's span context (the session's `execute`
+        // span, when one is entered) rides into each job the same way, so
+        // per-shard `worker` spans land in the query's trace even though
+        // they run on pool threads.
+        let trace_ctx = SpanContext::current();
         let pool = WorkerPool::global();
         let (tx, rx) = mpsc::channel();
         for (shard, l) in left_shards.iter().enumerate() {
@@ -281,8 +287,18 @@ impl PooledExecution for Cluster {
             let cluster = self.clone();
             let q = q.clone();
             let tx = tx.clone();
+            let trace_ctx = trace_ctx.clone();
             pool.spawn(move |_scratch| {
+                let span = trace_ctx.as_ref().map(|ctx| {
+                    let mut s = ctx.child("worker");
+                    s.attr("shard", shard);
+                    s
+                });
                 let run = cluster.run_cheetah(&q, &l, r.as_deref());
+                if let (Some(mut s), Ok(run)) = (span, run.as_ref()) {
+                    s.attr("rows", l.rows());
+                    s.attr("entries_to_master", run.breakdown.entries_to_master);
+                }
                 tx.send((shard, run)).ok();
             });
         }
@@ -294,7 +310,12 @@ impl PooledExecution for Cluster {
             runs[shard] = Some(run?);
         }
         let runs: Vec<_> = runs.into_iter().map(|r| r.expect("every shard reported")).collect();
-        Ok(finish_sharded(q, runs, &rows_per_shard, ingest, decision, plan))
+        let merge_span = trace_ctx.as_ref().map(|ctx| ctx.child("merge"));
+        let finished = finish_sharded(q, runs, &rows_per_shard, ingest, decision, plan);
+        if let Some(mut s) = merge_span {
+            s.attr("shards", shards);
+        }
+        Ok(finished)
     }
 }
 

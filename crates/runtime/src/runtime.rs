@@ -41,6 +41,7 @@ use cheetah_net::{
     WorkerFlow, MAX_BATCH_ITEMS,
 };
 use cheetah_switch::ProgramStats;
+use cheetah_telemetry::SpanContext;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
@@ -324,7 +325,13 @@ fn spawn_worker_plane(
         let q = q.clone();
         let batch_tx = batch_tx.clone();
         let report_tx = report_tx.clone();
+        let trace_ctx = SpanContext::current();
         pool.spawn(move |scratch| {
+            let mut worker_span = trace_ctx.as_ref().map(|ctx| {
+                let mut s = ctx.child("worker");
+                s.attr("shard", shard);
+                s
+            });
             let mut rep = WorkerReport::default();
             let mut seq = 0u64;
             // Under a faulty channel, frames are buffered instead of sent
@@ -374,6 +381,7 @@ fn spawn_worker_plane(
                 }
             }
             if let Some((f, ack_rx)) = &fault_lane {
+                let stream_span = worker_span.as_ref().map(|s| s.child("stream"));
                 rep.retransmits = stream_lossy(
                     shard,
                     &flow_frames,
@@ -382,8 +390,22 @@ fn spawn_worker_plane(
                     &batch_tx,
                     ack_rx,
                 );
+                if let Some(mut s) = stream_span {
+                    s.attr("frames", flow_frames.len());
+                    s.attr("retransmits", rep.retransmits);
+                }
+                if let Some(ctx) = trace_ctx.as_ref() {
+                    // The fabric's recovery work lands in the owning
+                    // session's registry, attributed via the trace.
+                    ctx.trace().registry().counter("net.retransmits").add(rep.retransmits);
+                }
             }
             rep.finished_at = epoch.elapsed().as_secs_f64();
+            if let Some(s) = worker_span.as_mut() {
+                s.attr("rows", rep.stats.rows);
+                s.attr("entries_to_master", rep.stats.entries_to_master);
+            }
+            drop(worker_span);
             report_tx.send((shard, Ok(rep))).ok();
         });
     }
@@ -477,6 +499,9 @@ fn drain_merge_plane(
     let WorkerPlane { unit_txs, batch_rx, report_rx, ack_txs } = plane;
     debug_assert!(unit_txs.is_empty(), "dispatch must close the unit streams");
     drop(unit_txs);
+    // The merge plane runs on the submitting thread, so the session's
+    // entered `execute` span (if any) is directly visible here.
+    let mut merge_span = SpanContext::current().map(|tc| tc.child("merge"));
     let shards = ctx.shards;
     let faulty = !ack_txs.is_empty();
     let mut state = MergeState::new(q);
@@ -531,6 +556,12 @@ fn drain_merge_plane(
     }
     let reports: Vec<WorkerReport> =
         reports.into_iter().map(|r| r.expect("every shard reported")).collect();
+
+    if let Some(s) = merge_span.as_mut() {
+        s.attr("shards", shards);
+        s.attr("batches", batches);
+    }
+    drop(merge_span);
 
     let fold =
         Fold { output, reports, router, merge_events, finish_seconds, batches, batch_wire_bytes };

@@ -41,11 +41,11 @@ use cheetah_db::{
 use cheetah_net::MasterIngestModel;
 use cheetah_runtime::{PooledExecution, StreamLayout, StreamedExecution};
 use cheetah_switch::ProgramStats;
+use cheetah_telemetry::{Counter, Gauge, Histogram, Registry, Span, Trace, TraceSink, TraceTree};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 /// Knobs of one serving session. The defaults serve a small rack: a
 /// few driver threads, a few hundred requests in flight, and the same
@@ -69,6 +69,10 @@ pub struct SessionConfig {
     /// Master ingest model for admitted runs; concurrency re-prices it
     /// per request ([`MasterIngestModel::with_concurrency`]).
     pub ingest: MasterIngestModel,
+    /// Finished query traces the session's ring-buffer sink retains
+    /// (oldest evicted first). Zero disables retention but keeps the
+    /// per-query spans and registry metrics.
+    pub trace_capacity: usize,
 }
 
 impl Default for SessionConfig {
@@ -81,6 +85,7 @@ impl Default for SessionConfig {
             stats_tolerance: 0.35,
             link_gbps: 10.0,
             ingest: MasterIngestModel::default_rack(),
+            trace_capacity: 64,
         }
     }
 }
@@ -104,6 +109,11 @@ pub struct QueryResponse {
     /// Whether the shard plan came out of the cache (always `false`
     /// for requests that pinned a shard count).
     pub plan_cached: bool,
+    /// The query's lifecycle span tree
+    /// (`admit → queue → plan → choose → execute{…} → respond`), when it
+    /// exported cleanly. The same tree is retained in
+    /// [`Session::traces`].
+    pub trace: Option<TraceTree>,
 }
 
 /// A pending response: returned by [`Session::submit`], redeemed with
@@ -148,8 +158,14 @@ impl SessionStats {
 
 struct Pending {
     req: QueryRequest,
-    enqueued: Instant,
     tx: mpsc::Sender<Result<QueryResponse>>,
+    /// The request's lifecycle trace root, opened at admission.
+    root: Span,
+    /// The open `queue` span: its lifetime *is* the queue time. The
+    /// driver reads `elapsed_s()` at dequeue and stamps the value into
+    /// the breakdown, so `ExecBreakdown::queue_seconds` is a view over
+    /// this span rather than separately-threaded bookkeeping.
+    queue: Span,
 }
 
 #[derive(Default)]
@@ -192,12 +208,72 @@ struct Caches {
     choosers: HashMap<String, PathChooser>,
 }
 
+/// The session's always-on observability handles: one registry, one
+/// trace sink, and cached handles for every hot-path metric (so the
+/// per-request cost is atomic ops, not name lookups).
+struct Telemetry {
+    registry: Registry,
+    sink: TraceSink,
+    /// `serve.queries` — completed requests (success or typed error);
+    /// reconciles with [`SessionStats::completed`].
+    queries: Counter,
+    /// `serve.rejected` — admission refusals.
+    rejected: Counter,
+    /// `serve.plan_cache.hits` / `serve.plan_cache.misses` — reconcile
+    /// with the plan cache's own counters.
+    plan_hits: Counter,
+    plan_misses: Counter,
+    /// `serve.queue_depth` — requests queued right now.
+    queue_depth: Gauge,
+    /// `serve.executing` — requests executing right now.
+    executing: Gauge,
+    /// `serve.queue_seconds` — per-request queue time.
+    queue_seconds: Histogram,
+    /// `serve.latency_seconds` — per-request queue + execution time.
+    latency_seconds: Histogram,
+}
+
+impl Telemetry {
+    fn new(trace_capacity: usize) -> Self {
+        let registry = Registry::new();
+        Self {
+            sink: TraceSink::new(trace_capacity),
+            queries: registry.counter("serve.queries"),
+            rejected: registry.counter("serve.rejected"),
+            plan_hits: registry.counter("serve.plan_cache.hits"),
+            plan_misses: registry.counter("serve.plan_cache.misses"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            executing: registry.gauge("serve.executing"),
+            queue_seconds: registry.histogram("serve.queue_seconds"),
+            latency_seconds: registry.histogram("serve.latency_seconds"),
+            registry,
+        }
+    }
+
+    /// Open the lifecycle trace for one admitted request: the `query`
+    /// root with a closed `admit` child and the still-open `queue`
+    /// child whose lifetime measures time-to-dispatch.
+    fn begin(&self, req: &QueryRequest, in_flight: usize) -> (Span, Span) {
+        let trace = Trace::new(self.registry.clone());
+        let mut root = trace.span("query");
+        root.attr("tenant", &req.tenant);
+        root.attr("query", req.query.kind());
+        {
+            let mut admit = root.child("admit");
+            admit.attr("in_flight", in_flight);
+        }
+        let queue = root.child("queue");
+        (root, queue)
+    }
+}
+
 struct Shared {
     cluster: Cluster,
     cfg: SessionConfig,
     sched: Mutex<SchedState>,
     work: Condvar,
     caches: Mutex<Caches>,
+    telemetry: Telemetry,
 }
 
 /// The serving plane's front door. See the [module docs](self) for the
@@ -225,6 +301,7 @@ impl Session {
             sched: Mutex::new(SchedState::default()),
             work: Condvar::new(),
             caches: Mutex::new(caches),
+            telemetry: Telemetry::new(cfg.trace_capacity),
         });
         let drivers = (0..cfg.drivers.max(1))
             .map(|_| {
@@ -254,21 +331,20 @@ impl Session {
         let in_flight = st.queued + st.executing;
         if in_flight >= self.shared.cfg.max_in_flight {
             st.rejected += 1;
+            self.shared.telemetry.rejected.inc();
             return Err(Error::Overloaded { in_flight, capacity: self.shared.cfg.max_in_flight });
         }
         let (tx, rx) = mpsc::channel();
         let tenant = req.tenant.clone();
         let newly_active = !st.queues.contains_key(&tenant);
-        st.queues.entry(tenant.clone()).or_default().push_back(Pending {
-            req,
-            enqueued: Instant::now(),
-            tx,
-        });
+        let (root, queue) = self.shared.telemetry.begin(&req, in_flight);
+        st.queues.entry(tenant.clone()).or_default().push_back(Pending { req, tx, root, queue });
         if newly_active {
             st.active.push_back(tenant.clone());
             st.deficit.insert(tenant, 0);
         }
         st.queued += 1;
+        self.shared.telemetry.queue_depth.set(st.queued as i64);
         drop(st);
         self.shared.work.notify_one();
         Ok(Ticket { rx })
@@ -287,12 +363,21 @@ impl Session {
             if st.queued == 0 && st.executing < self.shared.cfg.max_in_flight {
                 st.executing += 1;
                 let concurrent = st.executing;
+                let in_flight = st.queued + st.executing - 1;
                 drop(st);
-                let result = execute(&self.shared, &req, 0.0, concurrent);
+                self.shared.telemetry.executing.add(1);
+                // The idle fast path still traces the full lifecycle;
+                // its queue span just closes (honestly) near-instantly.
+                let (root, queue) = self.shared.telemetry.begin(&req, in_flight);
+                let queue_seconds = queue.elapsed_s();
+                queue.finish();
+                let result = execute(&self.shared, &req, queue_seconds, concurrent, root);
                 let mut st = self.shared.sched.lock().expect("scheduler lock");
                 st.executing -= 1;
                 st.completed += 1;
                 drop(st);
+                self.shared.telemetry.executing.add(-1);
+                self.shared.telemetry.queries.inc();
                 self.shared.work.notify_all();
                 return result;
             }
@@ -304,6 +389,22 @@ impl Session {
     pub fn in_flight(&self) -> usize {
         let st = self.shared.sched.lock().expect("scheduler lock");
         st.queued + st.executing
+    }
+
+    /// The session's metrics registry: queue/latency histograms,
+    /// admission and plan-cache counters, per-tenant DRR deficits, the
+    /// per-shape bandit's arm costs, and the fabric's retransmit
+    /// counter all land here. Snapshot it ([`Registry::snapshot`]) for
+    /// a deterministic, name-ordered view.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.telemetry.registry
+    }
+
+    /// The ring buffer of recently completed query traces (capacity
+    /// [`SessionConfig::trace_capacity`]). Each entry is the full
+    /// lifecycle span tree of one request.
+    pub fn traces(&self) -> &TraceSink {
+        &self.shared.telemetry.sink
     }
 
     /// Admission, completion, and plan-cache counters.
@@ -341,6 +442,23 @@ fn driver_loop(shared: &Shared) {
             loop {
                 if let Some(p) = pop_next(&mut st, shared.cfg.quantum_rows.max(1)) {
                     st.executing += 1;
+                    shared.telemetry.queue_depth.set(st.queued as i64);
+                    // Publish the DRR deficits the dequeue left behind;
+                    // a tenant whose queue just drained reads zero.
+                    for (tenant, deficit) in &st.deficit {
+                        shared
+                            .telemetry
+                            .registry
+                            .gauge(&format!("serve.tenant.{tenant}.deficit"))
+                            .set(*deficit as i64);
+                    }
+                    if !st.deficit.contains_key(&p.req.tenant) {
+                        shared
+                            .telemetry
+                            .registry
+                            .gauge(&format!("serve.tenant.{}.deficit", p.req.tenant))
+                            .set(0);
+                    }
                     break (p, st.executing);
                 }
                 if st.shutdown {
@@ -349,8 +467,13 @@ fn driver_loop(shared: &Shared) {
                 st = shared.work.wait(st).expect("scheduler lock");
             }
         };
-        let queue_seconds = pending.enqueued.elapsed().as_secs_f64();
-        let result = execute(shared, &pending.req, queue_seconds, concurrent);
+        shared.telemetry.executing.add(1);
+        let Pending { req, tx, root, queue } = pending;
+        // The queue span is the queue clock: the breakdown field and the
+        // exported span read the same measurement.
+        let queue_seconds = queue.elapsed_s();
+        queue.finish();
+        let result = execute(shared, &req, queue_seconds, concurrent, root);
         // Account *before* waking the waiter, so a redeemed ticket is
         // always reflected in the session counters.
         {
@@ -358,9 +481,11 @@ fn driver_loop(shared: &Shared) {
             st.executing -= 1;
             st.completed += 1;
         }
+        shared.telemetry.executing.add(-1);
+        shared.telemetry.queries.inc();
         shared.work.notify_all();
         // A dropped Ticket just means nobody is waiting; fine.
-        let _ = pending.tx.send(result);
+        let _ = tx.send(result);
     }
 }
 
@@ -397,27 +522,43 @@ fn shape_key(req: &QueryRequest) -> String {
     format!("{:?}|{}|{}", req.query, req.left.name(), req.right.as_ref().map_or("-", |r| r.name()))
 }
 
-/// Resolve plan → layout → arm, run the chosen twin, stamp the serving
-/// fields. Runs on a driver thread (or the caller's, via the
-/// `run_blocking` fast path); never holds the scheduler lock.
+/// Resolve plan → arm → layout, run the chosen twin, stamp the serving
+/// fields, and close out the request's trace. Runs on a driver thread
+/// (or the caller's, via the `run_blocking` fast path); never holds the
+/// scheduler lock.
 fn execute(
     shared: &Shared,
     req: &QueryRequest,
     queue_seconds: f64,
     concurrent: usize,
+    mut root: Span,
 ) -> Result<QueryResponse> {
     let shape = shape_key(req);
     let seed = shared.cluster.tuning.seed;
+    shared.telemetry.queue_seconds.observe(queue_seconds);
+    shared
+        .telemetry
+        .registry
+        .histogram(&format!("serve.tenant.{}.queue_seconds", req.tenant))
+        .observe(queue_seconds);
 
     // 1. The shard plan: pinned count, or plan cache, or the planner.
+    let mut plan_span = root.child("plan");
     let (decision, plan, generation, plan_cached) = match req.shards {
-        Some(_) => (PlanDecision::Fixed(cheetah_core::ShardPartitioner::Hash), None, 0, false),
+        Some(_) => {
+            plan_span.attr("cache", "pinned");
+            (PlanDecision::Fixed(cheetah_core::ShardPartitioner::Hash), None, 0, false)
+        }
         None => {
             let stats = StatsFingerprint::of(&req.left, req.right.as_deref());
             let mut caches = shared.caches.lock().expect("caches lock");
             if let Some(CachedPlan { plan, generation }) = caches.plans.lookup(&shape, stats) {
+                plan_span.attr("cache", "hit");
+                shared.telemetry.plan_hits.inc();
                 (PlanDecision::Planned(plan.partitioner()), Some(plan), generation, true)
             } else {
+                plan_span.attr("cache", "miss");
+                shared.telemetry.plan_misses.inc();
                 // Fit a fresh plan; let the shape's bandit inform the
                 // survivor pricing if it has measured this shape before.
                 let cfg = PlannerConfig { ingest: shared.cfg.ingest, ..PlannerConfig::default() };
@@ -438,8 +579,33 @@ fn execute(
             }
         }
     };
+    plan_span.finish();
 
-    // 2. The routed layout: presplit slices shared by both twins.
+    // 2. The arm: honour pins, let the shape's bandit fill the rest.
+    let mut choose_span = root.child("choose");
+    let arm = {
+        let mut caches = shared.caches.lock().expect("caches lock");
+        let chooser = caches.choosers.entry(shape.clone()).or_insert_with(|| {
+            // The shape's arm-cost histograms live in the session
+            // registry: every bandit observation is also a metric.
+            PathChooser::with_registry(
+                shared.cfg.link_gbps,
+                &shared.telemetry.registry,
+                &format!("serve.chooser.{}", req.query.kind()),
+            )
+        });
+        pick_arm(chooser, req.path, req.backend)
+    };
+    choose_span.attr("arm", arm.label());
+    choose_span.finish();
+
+    // 3. Execute: resolve the routed layout (cached after first sight),
+    // then run the chosen twin with the span entered so the worker
+    // pool's shard jobs and the merge plane trace themselves under it.
+    let mut exec_span = root.child("execute");
+    exec_span.attr("path", arm.path.label());
+    exec_span.attr("backend", arm.backend.label());
+
     let layout_key = (
         shape.clone(),
         Arc::as_ptr(&req.left) as usize,
@@ -454,7 +620,10 @@ fn execute(
         };
         if stale {
             drop(caches);
+            let mut route_span = exec_span.child("route");
             let entry = build_layout(shared, req, seed, &decision, plan.clone(), generation)?;
+            route_span.attr("shards", entry.left_slices.len());
+            route_span.finish();
             let mut caches = shared.caches.lock().expect("caches lock");
             caches.layouts.insert(layout_key.clone(), entry);
             caches
@@ -474,45 +643,35 @@ fn execute(
     };
     drop(caches_guard);
 
-    // 3. The arm: honour pins, let the shape's bandit fill the rest.
-    let arm = {
-        let mut caches = shared.caches.lock().expect("caches lock");
-        let chooser = caches
-            .choosers
-            .entry(shape.clone())
-            .or_insert_with(|| PathChooser::new(shared.cfg.link_gbps));
-        pick_arm(chooser, req.path, req.backend)
-    };
-
-    // 4. Run the chosen twin.
     let cluster = shared.cluster.clone().with_backend(arm.backend);
     let owned_plan = plan.as_deref().cloned();
-    let (output, mut breakdown, switch_stats) = match arm.path {
-        ExecPath::BarrierPooled => {
-            let run = cluster.run_cheetah_presplit(
-                &req.query,
-                &left_slices,
-                right_slices.as_deref(),
-                &shared.cfg.ingest,
-                decision,
-                owned_plan,
-            )?;
-            let entries: Vec<u64> = run.per_shard.iter().map(|s| s.entries_to_master).collect();
-            let mut b = run.breakdown;
-            b.master_ingest_seconds = shared.cfg.ingest.concurrent_latency(&entries, concurrent);
-            (run.output, b, run.switch_stats)
-        }
-        ExecPath::StreamedResident => {
-            let run = cluster.run_cheetah_streamed_resident(&req.query, &layout)?;
-            let entries: Vec<u64> = run.per_shard.iter().map(|s| s.entries_to_master).collect();
-            let mut b = run.breakdown;
-            b.master_ingest_seconds = shared.cfg.ingest.concurrent_latency(&entries, concurrent);
-            (run.output, b, run.switch_stats)
+    let run_result = {
+        let _in_exec = exec_span.enter();
+        match arm.path {
+            ExecPath::BarrierPooled => cluster
+                .run_cheetah_presplit(
+                    &req.query,
+                    &left_slices,
+                    right_slices.as_deref(),
+                    &shared.cfg.ingest,
+                    decision,
+                    owned_plan,
+                )
+                .map(|run| (run.output, run.per_shard, run.breakdown, run.switch_stats)),
+            ExecPath::StreamedResident => cluster
+                .run_cheetah_streamed_resident(&req.query, &layout)
+                .map(|run| (run.output, run.per_shard, run.breakdown, run.switch_stats)),
         }
     };
+    let (output, per_shard, mut breakdown, switch_stats) = run_result?;
+    let entries: Vec<u64> = per_shard.iter().map(|s| s.entries_to_master).collect();
+    breakdown.master_ingest_seconds = shared.cfg.ingest.concurrent_latency(&entries, concurrent);
+    exec_span.attr("shards", breakdown.shards);
+    exec_span.finish();
 
-    // 5. Feed the bandit what this arm cost, then stamp the serving
-    // fields the caller sees.
+    // 4. Respond: feed the bandit what this arm cost, then stamp the
+    // serving fields the caller sees and close out the trace.
+    let respond_span = root.child("respond");
     {
         let mut caches = shared.caches.lock().expect("caches lock");
         if let Some(chooser) = caches.choosers.get_mut(&shape) {
@@ -521,7 +680,26 @@ fn execute(
     }
     breakdown.queue_seconds = queue_seconds;
     breakdown.tenant = req.tenant.clone();
-    Ok(QueryResponse { output, breakdown, switch_stats, arm, plan_cached })
+    respond_span.finish();
+
+    root.attr("arm", arm.label());
+    root.attr("plan_cached", plan_cached);
+    // The root span opened at admission, so its age is queue + execute —
+    // exactly the client-observed latency.
+    let latency = root.elapsed_s();
+    shared.telemetry.latency_seconds.observe(latency);
+    shared
+        .telemetry
+        .registry
+        .histogram(&format!("serve.tenant.{}.latency_seconds", req.tenant))
+        .observe(latency);
+    let trace = root.trace().clone();
+    root.finish();
+    let trace = trace.export().ok();
+    if let Some(tree) = &trace {
+        shared.telemetry.sink.push(tree.clone());
+    }
+    Ok(QueryResponse { output, breakdown, switch_stats, arm, plan_cached, trace })
 }
 
 /// Route the request's tables once; both twins run off these slices.
@@ -736,14 +914,17 @@ mod tests {
         let mut st = SchedState::default();
         let t = table(100, 1, 1);
         let (tx, _rx) = mpsc::channel();
+        let telemetry = Telemetry::new(0);
         for tenant in ["flood", "flood", "flood", "light", "flood"] {
             let req =
                 QueryRequest::new(DbQuery::Distinct { col: 0 }, Arc::clone(&t)).tenant(tenant);
             let newly = !st.queues.contains_key(tenant);
+            let (root, queue) = telemetry.begin(&req, 0);
             st.queues.entry(tenant.to_string()).or_default().push_back(Pending {
                 req,
-                enqueued: Instant::now(),
                 tx: tx.clone(),
+                root,
+                queue,
             });
             if newly {
                 st.active.push_back(tenant.to_string());

@@ -1,0 +1,107 @@
+//! Crate-level contracts: histogram merge commutativity under arbitrary
+//! cross-thread interleavings, and span-tree export determinism.
+
+use cheetah_telemetry::{export_jsonl, Registry, Trace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    // Merging histograms is commutative: fold(a) ⊕ b == fold(b) ⊕ a for
+    // everything except float rounding of the exact sum.
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in prop::collection::vec(1e-9f64..10.0, 0..64),
+        ys in prop::collection::vec(1e-9f64..10.0, 0..64),
+    ) {
+        let reg = Registry::new();
+        let (a1, b1) = (reg.histogram("a1"), reg.histogram("b1"));
+        let (a2, b2) = (reg.histogram("a2"), reg.histogram("b2"));
+        for &x in &xs {
+            a1.observe(x);
+            a2.observe(x);
+        }
+        for &y in &ys {
+            b1.observe(y);
+            b2.observe(y);
+        }
+        a1.merge_from(&b1); // a ⊕ b
+        b2.merge_from(&a2); // b ⊕ a
+        let (ab, ba) = (a1.snapshot(), b2.snapshot());
+        prop_assert_eq!(ab.count, ba.count);
+        prop_assert_eq!(ab.min, ba.min);
+        prop_assert_eq!(ab.max, ba.max);
+        prop_assert_eq!(ab.p50, ba.p50);
+        prop_assert_eq!(ab.p90, ba.p90);
+        prop_assert_eq!(ab.p99, ba.p99);
+        prop_assert!((ab.sum - ba.sum).abs() <= 1e-9 * (1.0 + ab.sum.abs()));
+    }
+
+    // Merging from several threads into one shared histogram loses
+    // nothing: exact count and sum survive any interleaving.
+    #[test]
+    fn concurrent_observation_is_lossless(
+        xs in prop::collection::vec(1e-6f64..100.0, 1..128),
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("shared");
+        std::thread::scope(|scope| {
+            for chunk in xs.chunks(xs.len().div_ceil(4)) {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for &x in chunk {
+                        h.observe(x);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        let exact: f64 = xs.iter().sum();
+        prop_assert!((h.sum() - exact).abs() <= 1e-9 * (1.0 + exact.abs()));
+    }
+}
+
+/// Build the same lifecycle tree with racy worker-span completion and
+/// return its timestamp-zeroed JSON-lines export.
+fn seeded_trace_export(shards: usize) -> String {
+    let trace = Trace::new(Registry::new());
+    let mut root = trace.span("query");
+    root.attr("tenant", "determinism");
+    {
+        let mut plan = root.child("plan");
+        plan.attr("cache", "miss");
+    }
+    let exec = root.child("execute");
+    let ctx = exec.context();
+    std::thread::scope(|scope| {
+        for i in 0..shards {
+            let ctx = ctx.clone();
+            scope.spawn(move || {
+                let mut w = ctx.child("worker");
+                w.attr("shard", i);
+                // Skew completion order: high shards finish first.
+                std::thread::sleep(std::time::Duration::from_micros(((shards - i) * 200) as u64));
+            });
+        }
+    });
+    exec.finish();
+    root.finish();
+    export_jsonl(&trace.export().unwrap(), true)
+}
+
+// Same seed ⇒ identical exported trace modulo timestamps, no matter how
+// the pool threads raced.
+#[test]
+fn span_tree_export_is_deterministic() {
+    let first = seeded_trace_export(6);
+    for _ in 0..4 {
+        assert_eq!(first, seeded_trace_export(6));
+    }
+    // And the deterministic order is the attr order, not completion
+    // order (shard 5 finishes first but sorts last).
+    let shard_lines: Vec<&str> =
+        first.lines().filter(|l| l.contains("\"name\":\"worker\"")).collect();
+    assert_eq!(shard_lines.len(), 6);
+    assert!(shard_lines[0].contains("\"shard\":\"0\""));
+    assert!(shard_lines[5].contains("\"shard\":\"5\""));
+}

@@ -8,7 +8,7 @@
 //! query output — and the master completes the unchanged query on the
 //! survivors, so `Q(A_Q(D)) = Q(D)` by construction.
 //!
-//! This facade crate re-exports the seven subsystems:
+//! This facade crate re-exports the eight subsystems:
 //!
 //! * [`switch`] — a PISA dataplane simulator that *enforces* the resource
 //!   constraints the paper designs around (stages, ALUs, SRAM, TCAM, PHV,
@@ -29,7 +29,11 @@
 //! * [`serve`] — the multi-tenant serving plane: the
 //!   [`QueryRequest`](serve::QueryRequest)/[`Session`](serve::Session)
 //!   front door with admission control, per-tenant fair scheduling, a
-//!   plan cache, and bandit routing over the execution paths.
+//!   plan cache, and bandit routing over the execution paths;
+//! * [`telemetry`] — lock-light always-on observability: a metrics
+//!   registry (atomic counters/gauges, log-bucketed histograms) and
+//!   per-query lifecycle span traces, carried through the session, the
+//!   worker pool, the streamed runtime, and the fabric retransmit path.
 //!
 //! ## Quickstart
 //!
@@ -87,3 +91,7 @@ pub use cheetah_workloads as workloads;
 
 /// The multi-tenant serving plane (`cheetah-serve`).
 pub use cheetah_serve as serve;
+
+/// Metrics, spans, and the query-lifecycle trace plane
+/// (`cheetah-telemetry`).
+pub use cheetah_telemetry as telemetry;
